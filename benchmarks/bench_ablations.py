@@ -1,0 +1,183 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures — these quantify the individual mechanisms FLAT
+composes: per-tensor FLAT-tile staging, the NoC topology, the spill
+accounting, interleaving vs sequential execution, and the online-softmax
+extension that lifts the full-row constraint.
+"""
+
+import pytest
+
+from repro.analysis.reports import format_float, format_table
+from repro.arch.noc import NoCKind
+from repro.arch.presets import edge
+from repro.core.dataflow import Granularity, StagingPolicy, base, flat_r
+from repro.core.perf import PerfOptions, cost_la_pair
+from repro.functional.fused import flat_attention, flat_attention_online
+from repro.functional.reference import AttentionInputs
+from repro.models.configs import model_config
+
+
+def test_ablation_staging_enables(benchmark, report_printer):
+    """Disable each FLAT-tile in turn (the 2^5 choices of section 4.3)."""
+    cfg = model_config("bert", seq=4096)
+    accel = edge().with_scratchpad_bytes(64 * 1024 * 1024)
+
+    def run():
+        rows = []
+        for label, staging in [
+            ("all enabled", StagingPolicy.all_enabled()),
+            ("no Q", StagingPolicy(lhs=False)),
+            ("no K", StagingPolicy(rhs=False)),
+            ("no V", StagingPolicy(rhs2=False)),
+            ("no out", StagingPolicy(out=False)),
+            ("no intermediate", StagingPolicy(intermediate=False)),
+            ("intermediate only", StagingPolicy.intermediate_only()),
+        ]:
+            cost = cost_la_pair(cfg, flat_r(128, staging=staging), accel)
+            rows.append((label, cost.utilization, cost.dram_bytes / 1e9))
+        return rows
+
+    rows = benchmark(run)
+    report_printer(
+        format_table(
+            ["FLAT-tile config", "Util", "DRAM (GB)"],
+            [(l, format_float(u), format_float(d, 1)) for l, u, d in rows],
+            title="Ablation: per-tensor FLAT-tile staging (BERT-4K, edge)",
+        )
+    )
+    by = dict((l, (u, d)) for l, u, d in rows)
+    # Disabling the intermediate costs the O(N^2) round trip — the
+    # single most expensive switch to flip.
+    assert by["no intermediate"][1] > 2 * by["all enabled"][1]
+    assert by["no intermediate"][0] < by["all enabled"][0]
+    # Q and out are streaming tiles: disabling them is nearly free.
+    assert by["no Q"][0] == pytest.approx(by["all enabled"][0], rel=0.05)
+    assert by["no out"][0] == pytest.approx(by["all enabled"][0], rel=0.05)
+
+
+def test_ablation_noc_topology(benchmark, report_printer):
+    """Systolic vs tree vs crossbar fill/drain cost on a rigid array."""
+    cfg = model_config("bert", seq=512)
+    options = PerfOptions(flexible_mapping=False)  # rigid pays per switch
+
+    def run():
+        rows = []
+        for kind in (NoCKind.SYSTOLIC, NoCKind.TREE, NoCKind.CROSSBAR):
+            accel = edge(noc_kind=kind)
+            cost = cost_la_pair(cfg, base(), accel, options)
+            rows.append((kind.value, cost.total_cycles))
+        return rows
+
+    rows = benchmark(run)
+    report_printer(
+        format_table(
+            ["NoC", "Base L-A cycles"],
+            [(k, format_float(c, 3)) for k, c in rows],
+            title="Ablation: NoC topology (rigid array, BERT-512, edge)",
+        )
+    )
+    by = dict(rows)
+    assert by["crossbar"] <= by["tree"] <= by["systolic"]
+
+
+def test_ablation_spill_accounting(benchmark, report_printer):
+    """Strict reuse-based spill vs the paper's one-extra-pass reading."""
+    cfg = model_config("xlm", seq=65536)
+    from repro.arch.presets import cloud
+
+    accel = cloud()
+
+    def run():
+        strict = cost_la_pair(
+            cfg, flat_r(256), accel,
+            PerfOptions(spill_extra_pass_only=False),
+        )
+        lenient = cost_la_pair(
+            cfg, flat_r(256), accel,
+            PerfOptions(spill_extra_pass_only=True),
+        )
+        return strict, lenient
+
+    strict, lenient = benchmark(run)
+    report_printer(
+        format_table(
+            ["Spill model", "Util", "DRAM (GB)"],
+            [
+                ("strict (reuse-based)", format_float(strict.utilization),
+                 format_float(strict.dram_bytes / 1e9, 1)),
+                ("lenient (one extra pass)",
+                 format_float(lenient.utilization),
+                 format_float(lenient.dram_bytes / 1e9, 1)),
+            ],
+            title="Ablation: partial-staging accounting (XLM-64K, cloud)",
+        )
+    )
+    # The lenient model can only flatter a spilled configuration.
+    assert lenient.dram_bytes <= strict.dram_bytes
+    assert lenient.utilization >= strict.utilization - 1e-9
+
+
+def test_ablation_interleaving(benchmark, report_printer):
+    """Fused/interleaved vs sequential execution at equal granularity.
+
+    Isolates FLAT's interleaving benefit from its granularity benefit:
+    same H-granularity tile, with and without fusion.
+    """
+    cfg = model_config("bert", seq=4096)
+    accel = edge().with_scratchpad_bytes(256 * 1024 * 1024)
+
+    def run():
+        from repro.core.dataflow import base_x, flat_x
+
+        seq_cost = cost_la_pair(cfg, base_x(Granularity.H), accel)
+        fused_cost = cost_la_pair(cfg, flat_x(Granularity.H), accel)
+        return seq_cost, fused_cost
+
+    seq_cost, fused_cost = benchmark(run)
+    report_printer(
+        format_table(
+            ["Execution", "Util", "Cycles"],
+            [
+                ("sequential (Base-H)", format_float(seq_cost.utilization),
+                 format_float(seq_cost.total_cycles, 3)),
+                ("interleaved (FLAT-H)",
+                 format_float(fused_cost.utilization),
+                 format_float(fused_cost.total_cycles, 3)),
+            ],
+            title="Ablation: interleaving at fixed granularity",
+        )
+    )
+    assert fused_cost.total_cycles <= seq_cost.total_cycles
+
+
+def test_ablation_online_softmax_extension(benchmark, report_printer):
+    """The beyond-paper extension: tiling the key dimension too.
+
+    FLAT's row granularity keeps an O(R*N) intermediate; the online
+    variant cuts it to O(R*C) while remaining exact.
+    """
+    x = AttentionInputs.random(2, 2, 64, 64, 8, seed=7)
+
+    def run():
+        row = flat_attention(x, granularity=Granularity.R, rows=8)
+        online = flat_attention_online(x, rows=8, cols=16)
+        return row, online
+
+    row, online = benchmark(run)
+    report_printer(
+        format_table(
+            ["Executor", "Peak live elements", "Off-chip reads"],
+            [
+                ("FLAT row-granular", row.peak_live_elements,
+                 row.traffic.offchip_read_elements),
+                ("online-softmax (ext.)", online.peak_live_elements,
+                 online.traffic.offchip_read_elements),
+            ],
+            title="Ablation: online-softmax extension footprint",
+        )
+    )
+    assert online.peak_live_elements < row.peak_live_elements
+    import numpy as np
+
+    np.testing.assert_allclose(online.output, row.output, rtol=1e-9)

@@ -1,0 +1,54 @@
+"""Benchmarks for the system-level extension experiments.
+
+* ``ext-scaleout`` — chiplets behind one DRAM channel.
+* ``ext-quant`` — FLAT x 8-bit quantization.
+* ``ext-batch`` — the section 2.2 batch lever, measured.
+* ``ext-hierarchy`` — a second on-chip tier (section 3.1's claim).
+"""
+
+import pytest
+
+from repro.experiments import ext_batch, ext_hierarchy, ext_quant, ext_scaleout
+
+
+def test_scaleout(benchmark, report_printer):
+    rows = benchmark.pedantic(
+        lambda: ext_scaleout.run(cluster_counts=(1, 2, 4, 8)),
+        rounds=1, iterations=1,
+    )
+    report_printer(ext_scaleout.format_report(rows))
+    # The unfused baseline is channel-pinned; FLAT converts clusters
+    # into throughput.
+    assert rows[-1].base_tops == pytest.approx(rows[0].base_tops, rel=0.05)
+    assert rows[-1].flat_tops > 6 * rows[0].flat_tops
+    benchmark.extra_info["flat_advantage_8_clusters"] = round(
+        rows[-1].flat_advantage, 1
+    )
+
+
+def test_quantization(benchmark, report_printer):
+    rows = benchmark.pedantic(ext_quant.run, rounds=1, iterations=1)
+    report_printer(ext_quant.format_report(rows))
+    r16, r8 = rows
+    assert r8.base_util > r16.base_util          # quantization helps Base
+    assert r8.flat_speedup > 1.5                 # FLAT still wins at 8-bit
+    assert r8.flat_footprint_bytes < r16.flat_footprint_bytes
+
+
+def test_batch_lever(benchmark, report_printer):
+    rows = benchmark.pedantic(ext_batch.run, rounds=1, iterations=1)
+    report_printer(ext_batch.format_report(rows))
+    assert rows[-1].projection_util > 1.5 * rows[0].projection_util
+    la = [r.la_util for r in rows]
+    assert max(la) - min(la) < 0.05
+
+
+def test_memory_hierarchy(benchmark, report_printer):
+    rows = benchmark.pedantic(ext_hierarchy.run, rounds=1, iterations=1)
+    report_printer(ext_hierarchy.format_report(rows))
+    no_tier = rows[0]
+    biggest = rows[-1]
+    # The tier rescues FLAT at 64K on the edge buffer; Base barely moves.
+    assert biggest.flat_util > no_tier.flat_util + 0.25
+    assert abs(biggest.base_util - no_tier.base_util) < 0.1
+    benchmark.extra_info["flat_util_with_tier"] = round(biggest.flat_util, 3)

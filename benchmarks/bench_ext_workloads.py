@@ -1,0 +1,37 @@
+"""Benchmarks for the workload-breadth extension experiments."""
+
+from repro.experiments import ext_decode, ext_sparse, ext_suite
+
+
+def test_sparse_composition(benchmark, report_printer):
+    rows = benchmark.pedantic(
+        lambda: ext_sparse.run(seq=16384), rounds=1, iterations=1
+    )
+    report_printer(ext_sparse.format_report(rows))
+    dense, window = rows[0], rows[1]
+    # Orthogonality (paper section 7): FLAT's win survives sparsity and
+    # the combined speedup is roughly multiplicative.
+    assert window.flat_speedup > 1.2
+    assert dense.base_cycles / window.flat_cycles > 5.0
+    benchmark.extra_info["combined_speedup"] = round(
+        dense.base_cycles / window.flat_cycles, 1
+    )
+
+
+def test_long_sequence_suite(benchmark, report_printer):
+    rows = benchmark.pedantic(ext_suite.run, rounds=1, iterations=1)
+    report_printer(ext_suite.format_report(rows))
+    # Every intro application with a quadratic bottleneck inside the
+    # staging envelope sees a multi-x FLAT speedup; none regress.
+    for r in rows:
+        assert r.flat_util >= r.base_util - 1e-9
+    big = [r for r in rows if 8192 <= r.seq <= 131072]
+    assert big and max(r.speedup for r in big) > 4.0
+
+
+def test_decode_boundary(benchmark, report_printer):
+    rows = benchmark.pedantic(ext_decode.run, rounds=1, iterations=1)
+    report_printer(ext_decode.format_report(rows))
+    # The negative result is stable: decode never benefits from FLAT.
+    assert all(abs(r.speedup - 1.0) < 0.1 for r in rows)
+    assert all(r.base_util < 0.05 for r in rows)

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 10 (the FLAT design space scatter)."""
+
+from repro.experiments import fig10
+
+KB = 1024
+
+
+def test_fig10_design_space(benchmark, report_printer):
+    points, result = benchmark.pedantic(
+        lambda: fig10.run(exhaustive_staging=True), rounds=1, iterations=1
+    )
+    report_printer(fig10.format_report(points, result))
+
+    # The full 2^5-staging space is enumerated.
+    assert len(points) > 300
+    front = [p for p in points if p.on_pareto_front]
+    assert front
+    # The paper's top-left corner: near-cap utilization at a footprint
+    # orders of magnitude below the M-granularity point.
+    small_and_fast = [
+        p for p in front
+        if p.utilization > 0.9 and p.footprint_bytes < 512 * KB
+    ]
+    assert small_and_fast
+    assert any(p.granularity == "R" for p in small_and_fast)
+    m_points = [p for p in points if p.granularity == "M" and
+                p.footprint_bytes > 0]
+    assert min(p.footprint_bytes for p in m_points) > \
+        100 * min(p.footprint_bytes for p in small_and_fast)
+    benchmark.extra_info["points"] = len(points)
+    benchmark.extra_info["pareto"] = len(front)

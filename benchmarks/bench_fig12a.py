@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 12(a) (headline speedups & energy).
+
+The full grid is 5 models x 5 sequence lengths x 2 platforms; each cell
+runs three DSEs at model scope.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12a_speedup_grid(benchmark, report_printer):
+    rows = benchmark.pedantic(
+        fig12.run_speedup_grid, rounds=1, iterations=1
+    )
+    report_printer(fig12.format_speedup_report(rows))
+
+    # ATTACC never loses: its search space is a superset.
+    assert all(r.speedup_vs_flex >= 1.0 - 1e-9 for r in rows)
+    assert all(r.speedup_vs_flex_m >= r.speedup_vs_flex - 1e-9 for r in rows)
+    # Energy ratios are mostly below 1, but runtime-optimal points may
+    # spend extra energy (paper section 6.3: "FLAT-opts are optimal
+    # points maximizing Util, which could take larger energy").
+    assert all(r.energy_ratio_vs_flex <= 1.25 for r in rows)
+    assert sum(r.energy_ratio_vs_flex < 1.0 for r in rows) > len(rows) / 2
+
+    # On cloud, every model sees a substantial speedup at some sequence
+    # length (the quadratic intermediate progressively dominates until
+    # the staging tiles outgrow the 32 MB buffer).
+    for model in {r.model for r in rows}:
+        cloud_rows = [
+            r for r in rows if r.platform == "cloud" and r.model == model
+        ]
+        assert max(r.speedup_vs_flex_m for r in cloud_rows) > 1.5
+
+    # Cloud headline: substantial average speedup and energy saving
+    # (paper: 2.57x / 1.65x and 0.28 / 0.45).
+    cloud_avg = fig12.averages(rows, "cloud")
+    assert cloud_avg[0] > 1.5 and cloud_avg[1] > 1.3
+    assert cloud_avg[2] < 0.9 and cloud_avg[3] < 0.9
+    edge_avg = fig12.averages(rows, "edge")
+    assert edge_avg[0] >= 1.0 and edge_avg[2] <= 1.0
+
+    benchmark.extra_info["cloud_avg_speedup_vs_flexm"] = round(cloud_avg[0], 2)
+    benchmark.extra_info["cloud_avg_speedup_vs_flex"] = round(cloud_avg[1], 2)
+    benchmark.extra_info["edge_avg_speedup_vs_flexm"] = round(edge_avg[0], 2)
+    benchmark.extra_info["cloud_avg_energy_ratio"] = round(cloud_avg[2], 2)

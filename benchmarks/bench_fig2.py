@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 2 (rooflines and the batch lever)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, report_printer):
+    report = benchmark(fig2.run)
+    report_printer(fig2.format_report(report))
+
+    points = {p.name: p for p in report.panel_a}
+    # Intensity ordering CONV > FC > L/A, and the baseline dataflow
+    # degrades L/A below the compute roof.
+    assert (
+        points["CONV"].intensity_flops_per_byte
+        > points["FC"].intensity_flops_per_byte
+        > points["L/A (algorithmic)"].intensity_flops_per_byte
+    )
+    assert points["L/A (Base dataflow)"].peak_fraction < 1.0
+    # Batch raises FC but leaves L/A flat.
+    fc = [r[1].peak_fraction for r in report.panel_b]
+    la = [r[2].peak_fraction for r in report.panel_b]
+    assert fc[-1] > 2 * fc[0]
+    assert abs(la[-1] - la[0]) < 1e-9
+    # The overhead of staging: the L/A footprint dwarfs the buffer.
+    assert report.la_footprint_bytes > 100 * report.sg_bytes
+    benchmark.extra_info["base_la_peak_fraction"] = round(
+        points["L/A (Base dataflow)"].peak_fraction, 3
+    )

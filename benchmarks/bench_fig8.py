@@ -1,0 +1,75 @@
+"""Benchmark: regenerate Figure 8 (utilization vs buffer size).
+
+Panel (a): BERT on the edge platform; panel (b): XLM on the cloud
+platform.  Reduced grids keep the benchmark under a minute; the full
+paper grid is one function call away
+(``fig8.run(platform=..., seqs=..., buffer_sizes=None)``).
+"""
+
+import pytest
+
+from repro.experiments import fig8
+from repro.ops.attention import Scope
+
+KB = 1024
+_BUFFERS = tuple(kb * KB for kb in (20, 128, 512, 4096, 32768,
+                                    65536, 2 * 1024 * 1024))
+
+
+def _cells_by(cells):
+    return {(c.dataflow_name, c.buffer_bytes): c for c in cells}
+
+
+def test_fig8a_edge_bert(benchmark, report_printer):
+    cells = benchmark.pedantic(
+        lambda: fig8.run(
+            platform="edge", seqs=(512, 65536), scopes=(Scope.LA,),
+            buffer_sizes=_BUFFERS,
+        ),
+        rounds=1, iterations=1,
+    )
+    report_printer(fig8.format_report(cells, platform="edge/BERT"))
+
+    by = _cells_by([c for c in cells if c.seq == 512])
+    # Base-M dips below Base at small buffers, crosses above at 2 GB.
+    assert by[("Base-M", 128 * KB)].utilization < \
+        by[("Base", 128 * KB)].utilization
+    assert by[("Base-M", 2 * 1024 * 1024 * KB)].utilization > \
+        by[("Base", 2 * 1024 * 1024 * KB)].utilization
+    # FLAT-R reaches near-cap at the default 512 KB; Base needs more.
+    flat_r_name = next(n for n, _ in by if n.startswith("FLAT-R"))
+    assert by[(flat_r_name, 512 * KB)].utilization > 0.9
+    assert by[("Base-opt", 128 * KB)].utilization < 0.7
+    # FLAT-opt dominates Base-opt everywhere.
+    for buf in _BUFFERS:
+        assert by[("FLAT-opt", buf)].utilization >= \
+            by[("Base-opt", buf)].utilization - 1e-9
+
+    by64 = _cells_by([c for c in cells if c.seq == 65536])
+    # At 64K only FLAT-R approaches the cap within the sweep.
+    assert by64[(flat_r_name, 65536 * KB)].utilization > 0.9
+    assert by64[("Base-opt", 65536 * KB)].utilization < 0.7
+    benchmark.extra_info["flat_r_util_512kb"] = round(
+        by[(flat_r_name, 512 * KB)].utilization, 3
+    )
+
+
+def test_fig8b_cloud_xlm(benchmark, report_printer):
+    cells = benchmark.pedantic(
+        lambda: fig8.run(
+            platform="cloud", seqs=(16384,), scopes=(Scope.LA, Scope.BLOCK),
+            buffer_sizes=_BUFFERS,
+        ),
+        rounds=1, iterations=1,
+    )
+    report_printer(fig8.format_report(cells, platform="cloud/XLM"))
+
+    la = _cells_by([c for c in cells if c.scope == "L-A"])
+    # Paper: beyond 16K "most Base-X has Util lower than 0.4" on cloud.
+    for name in ("Base", "Base-M", "Base-B", "Base-H"):
+        assert la[(name, 512 * KB)].utilization < 0.4
+    # FLAT-opt clearly above every baseline at the default 32 MB.
+    default = 32 * 1024 * KB
+    closest = min(_BUFFERS, key=lambda b: abs(b - default))
+    assert la[("FLAT-opt", closest)].utilization > \
+        2 * la[("Base-opt", closest)].utilization

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 9 (energy for every Figure 8 point)."""
+
+from repro.experiments import fig9
+from repro.ops.attention import Scope
+
+KB = 1024
+_BUFFERS = tuple(kb * KB for kb in (128, 512, 4096, 65536))
+
+
+def test_fig9_edge_bert(benchmark, report_printer):
+    cells = benchmark.pedantic(
+        lambda: fig9.run(
+            platform="edge", seqs=(512,), scopes=(Scope.LA,),
+            buffer_sizes=_BUFFERS,
+        ),
+        rounds=1, iterations=1,
+    )
+    report_printer(fig9.format_report(cells, platform="edge/BERT"))
+
+    by = {(c.dataflow_name, c.buffer_bytes): c for c in cells}
+    # Normalization: the max of each sub-plot is 1.0.
+    assert max(c.normalized_energy for c in cells) == 1.0
+    # FLAT-X sits below its Base-X counterpart (saved off-chip access).
+    for gran in ("B", "H"):
+        for buf in _BUFFERS:
+            assert by[(f"FLAT-{gran}", buf)].energy_j <= \
+                by[(f"Base-{gran}", buf)].energy_j * 1.001
+    # FLAT-opt saves energy vs Base-opt at the default buffer.
+    assert by[("FLAT-opt", 512 * KB)].energy_j < \
+        by[("Base-opt", 512 * KB)].energy_j
+
+
+def test_fig9_cloud_xlm(benchmark, report_printer):
+    cells = benchmark.pedantic(
+        lambda: fig9.run(
+            platform="cloud", seqs=(16384,), scopes=(Scope.LA,),
+            buffer_sizes=_BUFFERS,
+        ),
+        rounds=1, iterations=1,
+    )
+    report_printer(fig9.format_report(cells, platform="cloud/XLM"))
+    by = {(c.dataflow_name, c.buffer_bytes): c for c in cells}
+    assert by[("FLAT-opt", 65536 * KB)].energy_j < \
+        by[("Base-opt", 65536 * KB)].energy_j

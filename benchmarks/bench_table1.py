@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (staging buffer requirements)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, report_printer):
+    rows = benchmark(table1.run)
+    report_printer(table1.format_report(rows))
+
+    cells = {(r.heads, r.seq): r for r in rows}
+    mb = 1024 * 1024
+    # Paper cells: K/Q/V/O grows linearly and ignores heads; L/A grows
+    # quadratically and explodes with heads.
+    assert cells[(1, 512)].qkvo_bytes == 4 * mb
+    assert cells[(1, 512)].la_bytes == int(2.5 * mb)
+    assert cells[(16, 512)].la_bytes == 10 * mb
+    assert cells[(16, 14336)].la_bytes > 6 * 1024 ** 3
+    benchmark.extra_info["la_16h_14k_gb"] = round(
+        cells[(16, 14336)].la_bytes / 1024 ** 3, 2
+    )

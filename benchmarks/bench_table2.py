@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (live footprint per granularity)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, report_printer):
+    rows = benchmark(table2.run)
+    report_printer(table2.format_report(rows))
+
+    by = {r.granularity: r for r in rows}
+    # Closed forms must match the per-tensor breakdown exactly, and the
+    # footprint must shrink monotonically M > B > H > R.
+    assert all(r.consistent for r in rows)
+    assert (
+        by["M-Gran"].closed_form_elements
+        > by["B-Gran"].closed_form_elements
+        > by["H-Gran"].closed_form_elements
+        > by["R-Gran"].closed_form_elements
+    )
+    benchmark.extra_info["r_gran_mb"] = round(
+        by["R-Gran"].closed_form_elements * 2 / 1024 ** 2, 2
+    )

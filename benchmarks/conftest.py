@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+analytical cost model, times the regeneration with pytest-benchmark,
+asserts the paper's qualitative claims on the produced rows, and prints
+the rows themselves (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report_printer(request):
+    """Print a report block under the current test's name."""
+
+    def _print(text: str) -> None:
+        print(f"\n===== {request.node.name} =====")
+        print(text)
+
+    return _print

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Architect's workflow: sizing the scratchpad of an attention accelerator.
+
+The paper's conclusion: "designers can now budget a much smaller on-chip
+buffer" once the dataflow is FLAT.  This example quantifies that claim —
+for BERT at three sequence lengths on the edge compute/bandwidth budget,
+it finds the smallest scratchpad at which each dataflow family reaches
+90% of its peak utilization, using the DSE at every size.
+
+Run:  python examples/accelerator_sizing.py
+"""
+
+from typing import Optional
+
+from repro import arch, models
+from repro.analysis import format_bytes, format_table
+from repro.core import AcceleratorPolicy, attacc, flex_accel
+from repro.ops import Scope
+
+KB = 1024
+SIZES = [20 * KB] + [KB * (1 << i) for i in range(6, 22)]  # 64 KB .. 2 GB
+
+
+def smallest_buffer_for(
+    policy: AcceleratorPolicy, cfg, accel, target: float
+) -> Optional[int]:
+    """First sweep size at which the policy's best Util >= target."""
+    for size in SIZES:
+        sized = accel.with_scratchpad_bytes(size)
+        best = policy.evaluate(cfg, sized, scope=Scope.LA)
+        if best.utilization >= target:
+            return size
+    return None
+
+
+def main() -> None:
+    accel = arch.edge()
+    print(
+        "Question: how much SRAM must an edge attention accelerator "
+        "provision\nto keep its 1024 PEs >= 90% utilized on the L-A "
+        "operators?\n"
+    )
+    rows = []
+    for seq in (512, 4096, 65536):
+        cfg = models.model_config("bert", seq=seq)
+        unfused = smallest_buffer_for(flex_accel(), cfg, accel, 0.90)
+        fused = smallest_buffer_for(attacc(), cfg, accel, 0.90)
+        rows.append(
+            (
+                seq,
+                format_bytes(unfused) if unfused else "> 2 GB",
+                format_bytes(fused) if fused else "> 2 GB",
+                (
+                    f"{unfused / fused:.0f}x"
+                    if unfused and fused
+                    else "-"
+                ),
+            )
+        )
+    print(
+        format_table(
+            ["Seq length", "Buffer needed (unfused opt)",
+             "Buffer needed (FLAT)", "SRAM saving"],
+            rows,
+            title="Smallest scratchpad reaching Util >= 0.90 (BERT, edge)",
+        )
+    )
+    print(
+        "\nFLAT reaches the target with a fraction of the SRAM because "
+        "its row-granular\nFLAT-tile footprint grows O(N) instead of "
+        "O(N^2) — area that can be\nre-budgeted into compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

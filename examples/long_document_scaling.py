@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Long-sequence scaling: the workload class that motivates the paper.
+
+The paper's introduction cites paragraph summarization at N = 64K and
+language modeling at N = 69K as the coming long-sequence regime.  This
+example sweeps the sequence length from 512 to 256K for XLM on the cloud
+accelerator and reports, per length:
+
+* utilization of the best unfused dataflow vs the best FLAT dataflow,
+* end-to-end model runtime for both,
+* the off-chip bandwidth each would need to stay above 95% utilization
+  on the L-A operator (the Figure 12(b) question).
+
+Run:  python examples/long_document_scaling.py
+"""
+
+from repro import arch, models
+from repro.analysis import format_float, format_table
+from repro.core import attacc, flex_accel
+from repro.experiments.fig12 import required_bandwidth
+from repro.ops import Scope
+
+
+def main() -> None:
+    accel = arch.cloud()
+    print(
+        "Scenario: long-document inference (summarization / long-range "
+        "LM)\nModel: XLM, batch 64, cloud accelerator "
+        "(32 MB scratchpad, 400 GB/s off-chip)\n"
+    )
+    flex = flex_accel()
+    att = attacc()
+    rows = []
+    for seq in (512, 4096, 16384, 65536, 262144):
+        cfg = models.model_config("xlm", seq=seq)
+        fx = flex.evaluate(cfg, accel, scope=Scope.MODEL)
+        at = att.evaluate(cfg, accel, scope=Scope.MODEL)
+        fx_bw = required_bandwidth(flex, accel, cfg, max_gbps=50_000)
+        at_bw = required_bandwidth(att, accel, cfg, max_gbps=50_000)
+        rows.append(
+            (
+                f"{seq // 1024}K" if seq >= 1024 else str(seq),
+                format_float(fx.cost.utilization),
+                format_float(at.cost.utilization),
+                f"{fx.cost.runtime_s(accel):.2f} s",
+                f"{at.cost.runtime_s(accel):.2f} s",
+                f"{fx.cost.total_cycles / at.cost.total_cycles:.2f}x",
+                "-" if fx_bw is None else f"{fx_bw:.0f}",
+                "-" if at_bw is None else f"{at_bw:.0f}",
+            )
+        )
+    print(
+        format_table(
+            ["N", "Util (unfused)", "Util (FLAT)", "Runtime (unfused)",
+             "Runtime (FLAT)", "Speedup", "BW@95% unfused (GB/s)",
+             "BW@95% FLAT (GB/s)"],
+            rows,
+            title="Model-wise scaling with sequence length",
+        )
+    )
+    print(
+        "\nThe unfused baseline pins itself to the off-chip channel as "
+        "N grows\n(the O(N^2) logit tensor round-trips four times); FLAT "
+        "keeps the\nintermediate on-chip and stays compute-bound until "
+        "even the K/V staging\ntiles outgrow the 32 MB scratchpad."
+    )
+
+
+if __name__ == "__main__":
+    main()

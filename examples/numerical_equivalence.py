@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Numerical proof that FLAT's fused schedule is exact.
+
+Executes multi-head attention three ways on the same random inputs —
+the unfused reference, FLAT's row-granular fused schedule, and the
+online-softmax extension that also tiles the key dimension — and shows
+they agree to machine precision while moving radically different
+amounts of data off-chip.  Includes a causal-masked decoder case and a
+cross-attention case (seq_q != seq_kv).
+
+Run:  python examples/numerical_equivalence.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import Granularity
+from repro.functional import (
+    AttentionInputs,
+    baseline_attention_traffic,
+    flat_attention,
+    flat_attention_online,
+    reference_attention,
+)
+
+
+def check(label: str, inputs: AttentionInputs, rows: int = 8) -> None:
+    expected = reference_attention(inputs)
+    fused = flat_attention(inputs, granularity=Granularity.R, rows=rows)
+    online = flat_attention_online(inputs, rows=rows, cols=16)
+    err_fused = np.max(np.abs(fused.output - expected))
+    err_online = np.max(np.abs(online.output - expected))
+    base_traffic = baseline_attention_traffic(inputs)
+    print(
+        format_table(
+            ["Executor", "Max abs error", "Off-chip elements",
+             "Peak live elements"],
+            [
+                ("unfused reference", "0 (definition)",
+                 base_traffic.total_offchip_elements, "O(B*H*N^2)"),
+                (f"FLAT R-gran (R={rows})", f"{err_fused:.2e}",
+                 fused.traffic.total_offchip_elements,
+                 fused.peak_live_elements),
+                ("online softmax (ext.)", f"{err_online:.2e}",
+                 online.traffic.total_offchip_elements,
+                 online.peak_live_elements),
+            ],
+            title=label,
+        )
+    )
+    print()
+    assert err_fused < 1e-9 and err_online < 1e-9
+
+
+def main() -> None:
+    print(
+        "FLAT's legality argument (paper section 4.2.1): softmax reduces "
+        "along the key\ndimension, so complete [R, N] row blocks can be "
+        "softmaxed and attended\nindependently.  Verify it numerically:\n"
+    )
+    check(
+        "Self-attention (B=2, H=4, N=64, d=16)",
+        AttentionInputs.random(2, 4, 64, 64, 16, seed=0),
+    )
+    check(
+        "Causal decoder attention (masked)",
+        AttentionInputs.random(1, 4, 48, 48, 8, seed=1, causal_mask=True),
+    )
+    check(
+        "Cross-attention (N_q=16, N_kv=96)",
+        AttentionInputs.random(2, 2, 16, 96, 8, seed=2),
+        rows=4,
+    )
+    print(
+        "All schedules agree to ~1e-15.  The fused executors read each "
+        "input exactly\nonce and never write the quadratic logit tensor "
+        "off-chip — the data-movement\nsaving the cost model monetizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

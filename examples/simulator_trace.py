@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Watch the interleaved pipeline run: the tile-level simulator's trace.
+
+Builds the explicit FLAT-R tile schedule for a small workload, replays
+it through the double-buffered engine, renders the ASCII Gantt chart
+(`f` = DRAM fetch, `X` = PE execution), and cross-checks the simulated
+total against the closed-form model — the repository's stand-in for
+the paper's RTL-validated MAESTRO correlation.
+
+Run:  python examples/simulator_trace.py
+"""
+
+from repro import arch
+from repro.core import cost_la_pair, flat_r
+from repro.ops import AttentionConfig
+from repro.sim import (
+    build_la_schedule,
+    occupancy_summary,
+    render_timeline,
+    simulate,
+)
+
+
+def main() -> None:
+    cfg = AttentionConfig(
+        name="trace-demo", batch=1, heads=2, d_model=128,
+        seq_q=256, seq_kv=256, d_ff=512,
+    )
+    accel = arch.edge()
+    dataflow = flat_r(32)
+    print(
+        f"Workload: {cfg.name} (H={cfg.heads}, N={cfg.seq_q}, "
+        f"dk={cfg.d_head}); dataflow {dataflow.name} on "
+        f"{accel.name}.\n"
+    )
+
+    schedule = build_la_schedule(cfg, dataflow, accel)
+    result = simulate(schedule, accel)
+    print(render_timeline(result, max_passes=16))
+    print()
+    print(occupancy_summary(result))
+
+    analytical = cost_la_pair(cfg, dataflow, accel)
+    ratio = analytical.total_cycles / result.total_cycles
+    print(
+        f"\nclosed-form model: {analytical.total_cycles:.0f} cycles "
+        f"(simulator/model ratio {1 / ratio:.3f}) — the analytical "
+        "totals track the\nexplicit pipeline within a few percent, "
+        "which is what licenses using the\nclosed forms for the "
+        "thousands-of-points DSE."
+    )
+    assert abs(1 - ratio) < 0.15
+
+
+if __name__ == "__main__":
+    main()

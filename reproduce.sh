@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-shot reproduction script: install, test, benchmark, regenerate
+# every paper artifact and the extension experiments, render figures.
+#
+# Usage:  ./reproduce.sh [output-dir]
+set -euo pipefail
+
+OUT="${1:-reproduction_output}"
+mkdir -p "$OUT"
+
+echo "== install =="
+pip install -e . --quiet \
+  || pip install -e . --no-build-isolation --quiet \
+  || python setup.py develop  # offline fallback (no wheel package)
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt"
+
+echo "== artifact benchmarks (with qualitative assertions) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt"
+
+echo "== paper tables & figures + extensions =="
+python -m repro.cli all 2>&1 | tee "$OUT/experiments.txt"
+
+echo "== JSON exports =="
+for exp in table1 table2 fig2 fig8-edge fig8-cloud fig9-edge fig9-cloud \
+           fig10 fig11-edge \
+           fig11-cloud fig12a fig12b iso-area ext-online ext-sparse \
+           ext-suite ext-decode ext-scaleout ext-quant ext-batch \
+           ext-hierarchy; do
+    python -m repro.cli "$exp" --json --quiet > "$OUT/$exp.json"
+done
+
+echo "== SVG figures =="
+python -m repro.cli svg --outdir "$OUT/figures" --quiet
+
+echo
+echo "done: reports in $OUT/, figures in $OUT/figures/"

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so
+``python setup.py develop`` still works on offline machines whose
+setuptools predates the self-contained PEP 660 editable-install path
+(which otherwise requires the ``wheel`` package from an index).
+"""
+
+from setuptools import setup
+
+setup()

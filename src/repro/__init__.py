@@ -1,0 +1,55 @@
+"""repro — reproduction of *FLAT: An Optimized Dataflow for Mitigating
+Attention Bottlenecks* (ASPLOS 2023).
+
+The library has four layers:
+
+* **Workloads** (:mod:`repro.ops`, :mod:`repro.models`) — GEMM operator
+  IR for attention models and the paper's five-model zoo.
+* **Hardware** (:mod:`repro.arch`) — the spatial-accelerator template
+  (PE array, NoC, scratchpads, SFU, off-chip memory) with the edge and
+  cloud presets of Figure 7(a).
+* **Dataflow & cost model** (:mod:`repro.core`, :mod:`repro.energy`,
+  :mod:`repro.sim`) — the FLAT dataflow space, the analytical
+  performance/energy model, the exhaustive DSE, and a tile-level
+  simulator that cross-checks the analytics.
+* **Evaluation** (:mod:`repro.functional`, :mod:`repro.analysis`,
+  :mod:`repro.experiments`) — numerical equivalence proofs for the
+  fused schedule, roofline analysis, and harnesses regenerating every
+  table and figure of the paper.
+
+Quickstart::
+
+    from repro import arch, core, models
+    cfg = models.model_config("bert", seq=4096)
+    accel = arch.edge()
+    flat = core.attacc().evaluate(cfg, accel)
+    base = core.flex_accel().evaluate(cfg, accel)
+    print(base.cost.total_cycles / flat.cost.total_cycles)  # speedup
+"""
+
+from repro import (
+    analysis,
+    arch,
+    core,
+    energy,
+    experiments,
+    functional,
+    models,
+    ops,
+    sim,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "arch",
+    "core",
+    "energy",
+    "experiments",
+    "functional",
+    "models",
+    "ops",
+    "sim",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Analysis utilities: rooflines, utilization sweeps, report tables."""
+
+from repro.analysis.export import dumps, to_jsonable
+from repro.analysis.reports import format_bytes, format_float, format_table
+from repro.analysis.roofline import (
+    baseline_la_intensity,
+    RooflinePoint,
+    attainable_flops,
+    batch_sweep_points,
+    conv_intensity,
+    roofline_points,
+    staged_ceiling_points,
+)
+from repro.analysis.utilization import (
+    SweepPoint,
+    buffer_sweep,
+    default_buffer_sizes,
+)
+
+__all__ = [
+    "dumps",
+    "to_jsonable",
+    "format_bytes",
+    "format_float",
+    "format_table",
+    "RooflinePoint",
+    "attainable_flops",
+    "baseline_la_intensity",
+    "batch_sweep_points",
+    "conv_intensity",
+    "roofline_points",
+    "staged_ceiling_points",
+    "SweepPoint",
+    "buffer_sweep",
+    "default_buffer_sizes",
+]

@@ -1,0 +1,47 @@
+"""JSON export of experiment results.
+
+Every experiment harness returns typed dataclass rows; this module
+serializes any such list (or nested structure of dataclasses, enums and
+numpy scalars) to JSON so results can be plotted or diffed outside the
+repository.  The CLI exposes it as ``--json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+__all__ = ["to_jsonable", "dumps"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment results into JSON-safe values.
+
+    Handles dataclasses (by field), enums (by value), mappings,
+    sequences, and numpy scalar types (via ``item()``); objects exposing
+    neither are passed through for ``json`` to accept or reject.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    return value
+
+
+def dumps(value: Any, indent: int = 2) -> str:
+    """Serialize experiment rows to a JSON string."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=False)

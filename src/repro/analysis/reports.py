@@ -1,0 +1,59 @@
+"""Plain-text table formatting for experiment harnesses and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float", "format_bytes"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact float rendering: fixed-point in a sane range, else sci."""
+    if value == 0:
+        return "0"
+    if 1e-3 <= abs(value) < 1e6:
+        return f"{value:.{digits}f}"
+    return f"{value:.{digits}e}"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (KB/MB/GB, binary units)."""
+    if num_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(num_bytes)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are converted with ``str`` (floats should be pre-formatted by
+    the caller); columns are padded to the widest cell.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    all_rows = [list(headers)] + str_rows
+    widths = [
+        max(len(row[i]) for row in all_rows if i < len(row))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)

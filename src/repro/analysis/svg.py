@@ -1,0 +1,193 @@
+"""Dependency-free SVG chart writer for experiment results.
+
+The repository has no plotting dependency, but Figure 10 (the design
+space) and Figure 8 (the buffer sweeps) are genuinely scatter/line
+figures; this module renders them as standalone SVG files so results
+can be *looked at*, not just read as tables.  Only the handful of chart
+features the experiments need are implemented: log-scaled axes, point
+series with labels, and polyline series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Series", "ScatterChart"]
+
+_PALETTE = (
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named point/line series."""
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+    draw_line: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} has no points")
+        for x, y in self.points:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise ValueError(f"series {self.name!r} has non-finite data")
+
+
+@dataclass
+class ScatterChart:
+    """A minimal scatter/line chart with optional log axes."""
+
+    title: str
+    x_label: str
+    y_label: str
+    log_x: bool = False
+    log_y: bool = False
+    width: int = 720
+    height: int = 440
+    series: List[Series] = field(default_factory=list)
+
+    _MARGIN_L = 70
+    _MARGIN_R = 160
+    _MARGIN_T = 48
+    _MARGIN_B = 56
+
+    def add(self, series: Series) -> None:
+        self.series.append(series)
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self.series for x, _ in s.points]
+        ys = [y for s in self.series for _, y in s.points]
+        lo_x, hi_x = min(xs), max(xs)
+        lo_y, hi_y = min(ys), max(ys)
+        if self.log_x and lo_x <= 0:
+            raise ValueError("log x-axis requires positive x values")
+        if self.log_y and lo_y <= 0:
+            raise ValueError("log y-axis requires positive y values")
+        if lo_x == hi_x:
+            lo_x, hi_x = lo_x * 0.9 or -1.0, hi_x * 1.1 or 1.0
+        if lo_y == hi_y:
+            lo_y, hi_y = lo_y * 0.9 or -1.0, hi_y * 1.1 or 1.0
+        return lo_x, hi_x, lo_y, hi_y
+
+    def _scale(self, v: float, lo: float, hi: float, log: bool) -> float:
+        if log:
+            return (math.log10(v) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        return (v - lo) / (hi - lo)
+
+    def _to_px(self, x: float, y: float, bounds) -> Tuple[float, float]:
+        lo_x, hi_x, lo_y, hi_y = bounds
+        plot_w = self.width - self._MARGIN_L - self._MARGIN_R
+        plot_h = self.height - self._MARGIN_T - self._MARGIN_B
+        px = self._MARGIN_L + self._scale(x, lo_x, hi_x, self.log_x) * plot_w
+        py = self.height - self._MARGIN_B - (
+            self._scale(y, lo_y, hi_y, self.log_y) * plot_h
+        )
+        return px, py
+
+    def _ticks(self, lo: float, hi: float, log: bool) -> List[float]:
+        if log:
+            lo_e = math.floor(math.log10(lo))
+            hi_e = math.ceil(math.log10(hi))
+            return [10.0 ** e for e in range(int(lo_e), int(hi_e) + 1)]
+        step = (hi - lo) / 5
+        return [lo + i * step for i in range(6)]
+
+    @staticmethod
+    def _fmt(v: float) -> str:
+        if v == 0:
+            return "0"
+        if abs(v) >= 10000 or abs(v) < 0.01:
+            return f"{v:.0e}"
+        return f"{v:g}"
+
+    # ------------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        bounds = self._bounds()
+        lo_x, hi_x, lo_y, hi_y = bounds
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" '
+            'font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{self.title}</text>',
+        ]
+        # Axes frame.
+        x0, y0 = self._MARGIN_L, self.height - self._MARGIN_B
+        x1, y1 = self.width - self._MARGIN_R, self._MARGIN_T
+        parts.append(
+            f'<rect x="{x0}" y="{y1}" width="{x1 - x0}" '
+            f'height="{y0 - y1}" fill="none" stroke="#777"/>'
+        )
+        # Ticks and grid.
+        for tx in self._ticks(lo_x, hi_x, self.log_x):
+            px, _ = self._to_px(tx, lo_y, bounds)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y1}" '
+                'stroke="#eee"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{y0 + 16}" text-anchor="middle">'
+                f"{self._fmt(tx)}</text>"
+            )
+        for ty in self._ticks(lo_y, hi_y, self.log_y):
+            _, py = self._to_px(lo_x, ty, bounds)
+            parts.append(
+                f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" '
+                'stroke="#eee"/>'
+            )
+            parts.append(
+                f'<text x="{x0 - 6}" y="{py + 4:.1f}" text-anchor="end">'
+                f"{self._fmt(ty)}</text>"
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{(x0 + x1) / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>'
+        )
+        parts.append(
+            f'<text x="18" y="{(y0 + y1) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 18 {(y0 + y1) / 2})">'
+            f"{self.y_label}</text>"
+        )
+        # Series.
+        for i, s in enumerate(self.series):
+            color = _PALETTE[i % len(_PALETTE)]
+            pts = [self._to_px(x, y, bounds) for x, y in s.points]
+            if s.draw_line:
+                path = " ".join(f"{px:.1f},{py:.1f}" for px, py in pts)
+                parts.append(
+                    f'<polyline points="{path}" fill="none" '
+                    f'stroke="{color}" stroke-width="2"/>'
+                )
+            for px, py in pts:
+                parts.append(
+                    f'<circle cx="{px:.1f}" cy="{py:.1f}" r="3.5" '
+                    f'fill="{color}" fill-opacity="0.8"/>'
+                )
+            ly = self._MARGIN_T + 16 * i + 8
+            lx = self.width - self._MARGIN_R + 12
+            parts.append(
+                f'<circle cx="{lx}" cy="{ly - 4}" r="4" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 10}" y="{ly}">{s.name}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_svg())

@@ -1,0 +1,53 @@
+"""Accelerator hardware substrate.
+
+Models the baseline/ATTACC accelerator template of paper Figure 5: a PE
+array with per-PE local scratchpads, a soft-partitioned global scratchpad
+(SG), a special function unit for softmax, distribution/reduction NoCs
+and off-chip memory with shared, limited bandwidth.  Presets for the
+paper's edge and cloud platforms live in :mod:`repro.arch.presets`.
+"""
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.area import AreaModel, accelerator_area_mm2, iso_area_designs
+from repro.arch.cluster import ClusteredAccelerator, cluster_slice
+from repro.arch.config_io import (
+    accelerator_from_dict,
+    accelerator_to_dict,
+    load_accelerator,
+    load_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.arch.memory import OffChipSpec, ScratchpadSpec, SharedBandwidthArbiter
+from repro.arch.noc import NoCKind, NoCSpec
+from repro.arch.pe_array import PEArray
+from repro.arch.presets import GB, KB, MB, cloud, edge, get_platform
+from repro.arch.sfu import SFUSpec
+
+__all__ = [
+    "Accelerator",
+    "AreaModel",
+    "accelerator_area_mm2",
+    "iso_area_designs",
+    "ClusteredAccelerator",
+    "cluster_slice",
+    "accelerator_from_dict",
+    "accelerator_to_dict",
+    "load_accelerator",
+    "load_workload",
+    "workload_from_dict",
+    "workload_to_dict",
+    "OffChipSpec",
+    "ScratchpadSpec",
+    "SharedBandwidthArbiter",
+    "NoCKind",
+    "NoCSpec",
+    "PEArray",
+    "SFUSpec",
+    "cloud",
+    "edge",
+    "get_platform",
+    "KB",
+    "MB",
+    "GB",
+]

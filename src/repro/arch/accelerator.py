@@ -1,0 +1,111 @@
+"""Top-level accelerator configuration.
+
+Combines the PE array, NoC, memory hierarchy and SFU into one
+:class:`Accelerator` the cost model consumes.  The two configurations the
+paper evaluates (Figure 7(a)) are provided by :mod:`repro.arch.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.memory import OffChipSpec, ScratchpadSpec
+from repro.arch.noc import NoCKind, NoCSpec
+from repro.arch.pe_array import PEArray
+from repro.arch.sfu import SFUSpec
+
+__all__ = ["Accelerator"]
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """One accelerator instance.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (``"edge"``, ``"cloud"``, ...).
+    pe_array:
+        The spatial compute array.
+    scratchpad:
+        Global on-chip scratchpad (SG).
+    offchip:
+        Off-chip memory (DRAM/HBM) bandwidth.
+    noc:
+        Distribution/reduction network.
+    sfu:
+        Softmax/nonlinearity unit.
+    frequency_hz:
+        Clock frequency; the paper runs both platforms at 1 GHz.
+    bytes_per_element:
+        Datatype width; the paper evaluates at 16 bits (2 bytes).
+    """
+
+    name: str
+    pe_array: PEArray
+    scratchpad: ScratchpadSpec
+    offchip: OffChipSpec
+    noc: NoCSpec
+    sfu: SFUSpec
+    frequency_hz: float = 1e9
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+
+    # ------------------------------------------------------------------
+    # derived rates (per-cycle units used throughout the cost model)
+    # ------------------------------------------------------------------
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.pe_array.peak_macs_per_cycle
+
+    @property
+    def peak_flops_per_sec(self) -> float:
+        return 2.0 * self.peak_macs_per_cycle * self.frequency_hz
+
+    @property
+    def offchip_bytes_per_cycle(self) -> float:
+        return self.offchip.bytes_per_cycle(self.frequency_hz)
+
+    @property
+    def onchip_bytes_per_cycle(self) -> float:
+        return self.scratchpad.bytes_per_cycle(self.frequency_hz)
+
+    @property
+    def sg_bytes(self) -> int:
+        """Global scratchpad capacity (shorthand used by tiling code)."""
+        return self.scratchpad.size_bytes
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+    # ------------------------------------------------------------------
+    # variants (used heavily by the buffer-sweep experiments)
+    # ------------------------------------------------------------------
+    def with_scratchpad_bytes(self, size_bytes: int) -> "Accelerator":
+        """Copy with a different SG capacity (bandwidth preserved).
+
+        Figure 8 sweeps the on-chip buffer from 20 KB to 2 GB at fixed
+        bandwidth; this helper builds each sweep point.
+        """
+        return replace(
+            self,
+            scratchpad=replace(self.scratchpad, size_bytes=size_bytes),
+        )
+
+    def with_offchip_bandwidth(self, bandwidth_bytes_per_sec: float) -> "Accelerator":
+        """Copy with a different off-chip bandwidth (Figure 12(b) sweep)."""
+        return replace(
+            self,
+            offchip=replace(
+                self.offchip, bandwidth_bytes_per_sec=bandwidth_bytes_per_sec
+            ),
+        )
+
+    def with_noc(self, kind: NoCKind) -> "Accelerator":
+        """Copy with a different NoC topology (ablation)."""
+        return replace(self, noc=replace(self.noc, kind=kind))

@@ -1,0 +1,143 @@
+"""Silicon area model and iso-area design generation.
+
+The paper's DSE framework optimizes "subject to varying resource
+constraints (e.g., area, on-chip memory capacity)" and its conclusion
+argues FLAT "changes how available area (energy) is provisioned and
+balanced across compute/memory": because FLAT reaches peak utilization
+with a far smaller scratchpad, an architect can trade SRAM for PEs at
+fixed silicon budget.  This module provides the area accounting and the
+iso-area design-point generator that the ``iso-area`` experiment uses
+to quantify that claim.
+
+Constants are order-of-magnitude values for a ~16 nm-class process:
+
+* one PE (16-bit MAC + small local scratchpad + pipeline registers)
+  ~ 0.003 mm^2;
+* dense SRAM ~ 1.0 mm^2 per MB (≈ 8 Mb/mm^2 macro density);
+* NoC + controller overhead as a fraction of PE area;
+* the SFU sized proportionally to the array.
+
+Absolute mm^2 values are not the point — the *exchange rate* between
+PEs and SRAM is, and that is robust to the constants' scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.memory import OffChipSpec, ScratchpadSpec
+from repro.arch.noc import NoCSpec
+from repro.arch.pe_array import PEArray
+from repro.arch.sfu import SFUSpec
+
+__all__ = ["AreaModel", "accelerator_area_mm2", "iso_area_designs"]
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-component silicon cost."""
+
+    mm2_per_pe: float = 0.003
+    mm2_per_mb_sram: float = 1.0
+    noc_overhead_fraction: float = 0.10
+    sfu_mm2_per_kelem_per_cycle: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("mm2_per_pe", "mm2_per_mb_sram",
+                     "sfu_mm2_per_kelem_per_cycle"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.noc_overhead_fraction < 1.0:
+            raise ValueError("noc_overhead_fraction must be in [0, 1)")
+
+    def pe_array_mm2(self, num_pes: int) -> float:
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        return num_pes * self.mm2_per_pe * (1.0 + self.noc_overhead_fraction)
+
+    def sram_mm2(self, size_bytes: int) -> float:
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        return size_bytes / _MB * self.mm2_per_mb_sram
+
+    def sfu_mm2(self, elements_per_cycle: int) -> float:
+        if elements_per_cycle <= 0:
+            raise ValueError("elements_per_cycle must be positive")
+        return elements_per_cycle / 1000.0 * self.sfu_mm2_per_kelem_per_cycle
+
+
+def accelerator_area_mm2(
+    accel: Accelerator, model: AreaModel | None = None
+) -> float:
+    """Total silicon area of an accelerator instance."""
+    m = model if model is not None else AreaModel()
+    return (
+        m.pe_array_mm2(accel.pe_array.num_pes)
+        + m.sram_mm2(accel.sg_bytes)
+        + m.sfu_mm2(accel.sfu.elements_per_cycle)
+    )
+
+
+def iso_area_designs(
+    reference: Accelerator,
+    sram_fractions: List[float],
+    model: AreaModel | None = None,
+) -> List[Accelerator]:
+    """Generate accelerators with the reference's area, split differently.
+
+    For each requested SRAM area fraction, the remaining budget buys the
+    largest square PE array that fits (with its SFU); on-chip/off-chip
+    bandwidths and frequency are carried over from the reference.  The
+    returned designs all cost within one PE-row of the reference's
+    silicon, so comparing their achieved throughput isolates the
+    provisioning question: *given FLAT, how much of the die should be
+    SRAM?*
+    """
+    m = model if model is not None else AreaModel()
+    total = accelerator_area_mm2(reference, m)
+    designs: List[Accelerator] = []
+    for fraction in sram_fractions:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("sram fraction must be in (0, 1)")
+        sram_mm2 = total * fraction
+        sram_bytes = max(_MB // 64, int(sram_mm2 / m.mm2_per_mb_sram * _MB))
+        compute_mm2 = total - sram_mm2
+        # Solve PEs + proportional SFU against the compute budget.
+        mm2_per_pe_eff = (
+            m.mm2_per_pe * (1.0 + m.noc_overhead_fraction)
+            + m.sfu_mm2_per_kelem_per_cycle / 1000.0
+        )
+        num_pes = max(16, int(compute_mm2 / mm2_per_pe_eff))
+        edge_len = max(4, int(math.sqrt(num_pes)))
+        array = PEArray(rows=edge_len, cols=edge_len,
+                        sl_bytes=reference.pe_array.sl_bytes)
+        designs.append(
+            Accelerator(
+                name=f"{reference.name}-sram{int(fraction * 100)}pct",
+                pe_array=array,
+                scratchpad=ScratchpadSpec(
+                    size_bytes=sram_bytes,
+                    bandwidth_bytes_per_sec=(
+                        reference.scratchpad.bandwidth_bytes_per_sec
+                    ),
+                ),
+                offchip=OffChipSpec(
+                    bandwidth_bytes_per_sec=(
+                        reference.offchip.bandwidth_bytes_per_sec
+                    ),
+                ),
+                noc=NoCSpec(
+                    kind=reference.noc.kind,
+                    words_per_cycle=2 * edge_len,
+                ),
+                sfu=SFUSpec(elements_per_cycle=array.num_pes),
+                frequency_hz=reference.frequency_hz,
+                bytes_per_element=reference.bytes_per_element,
+            )
+        )
+    return designs

@@ -1,0 +1,107 @@
+"""Multi-cluster (scale-out) accelerator model.
+
+The paper's accelerator template is a single array with a single
+scratchpad, but its related work leans on multi-chip-module designs
+(Simba) and its bandwidth analysis (Figure 12(b)) is explicitly about
+"the off-chip BW ... often shared across different components in the
+system".  This module models that sharing: ``T`` identical clusters —
+each a full Figure 5 accelerator slice with its own PE array and SG
+partition — behind **one** off-chip channel.
+
+The L-A cross loop is embarrassingly parallel over ``(batch, head,
+row-block)`` passes, so a fused dataflow distributes passes across
+clusters; what does *not* scale is the shared DRAM channel, which is
+the point: a dataflow's aggregate bandwidth demand decides how many
+clusters it can feed (quantified by ``experiments.ext_scaleout``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.arch.accelerator import Accelerator
+
+__all__ = ["ClusteredAccelerator", "cluster_slice"]
+
+
+@dataclass(frozen=True)
+class ClusteredAccelerator:
+    """``num_clusters`` copies of a slice behind one off-chip channel.
+
+    Parameters
+    ----------
+    slice_accel:
+        One cluster: its PE array, SG partition and on-chip bandwidth.
+    num_clusters:
+        How many identical clusters share the off-chip channel.
+    shared_offchip_bytes_per_sec:
+        The single channel's bandwidth, shared by all clusters.
+    """
+
+    slice_accel: Accelerator
+    num_clusters: int
+    shared_offchip_bytes_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if self.shared_offchip_bytes_per_sec <= 0:
+            raise ValueError("shared bandwidth must be positive")
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_clusters * self.slice_accel.pe_array.num_pes
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.num_clusters * self.slice_accel.peak_macs_per_cycle
+
+    def per_cluster_view(self) -> Accelerator:
+        """The accelerator one cluster sees: a fair share of the channel.
+
+        Under fair arbitration with all clusters streaming, each gets
+        ``1/T`` of the channel; a cluster-local cost evaluation on this
+        view therefore prices the contention, and the system's runtime
+        is the per-cluster runtime of its share of the passes (the
+        cross loop is work-balanced).
+        """
+        return replace(
+            self.slice_accel,
+            name=f"{self.slice_accel.name}-x{self.num_clusters}",
+            offchip=replace(
+                self.slice_accel.offchip,
+                bandwidth_bytes_per_sec=(
+                    self.shared_offchip_bytes_per_sec / self.num_clusters
+                ),
+            ),
+        )
+
+
+def cluster_slice(reference: Accelerator, num_clusters: int) -> Accelerator:
+    """Partition a reference accelerator into one cluster's slice.
+
+    Splits the PE array (by rows), the scratchpad capacity and the
+    on-chip bandwidth evenly; off-chip bandwidth is handled by
+    :class:`ClusteredAccelerator`, not here.
+    """
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+    rows = max(1, reference.pe_array.rows // num_clusters)
+    return replace(
+        reference,
+        name=f"{reference.name}-slice",
+        pe_array=replace(reference.pe_array, rows=rows),
+        scratchpad=replace(
+            reference.scratchpad,
+            size_bytes=max(4096, reference.sg_bytes // num_clusters),
+            bandwidth_bytes_per_sec=(
+                reference.scratchpad.bandwidth_bytes_per_sec / num_clusters
+            ),
+        ),
+        sfu=replace(
+            reference.sfu,
+            elements_per_cycle=max(
+                1, reference.sfu.elements_per_cycle // num_clusters
+            ),
+        ),
+    )

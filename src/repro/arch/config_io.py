@@ -1,0 +1,205 @@
+"""JSON (de)serialization of accelerators and workloads.
+
+Lets users define custom platforms and models in plain JSON files —
+the usual open-source workflow for cost-model tools (Timeloop's YAML
+specs play this role for the paper's toolchain).  Only the standard
+library is used.
+
+Accelerator schema::
+
+    {
+      "name": "my-npu",
+      "pe_rows": 64, "pe_cols": 64,
+      "sg_bytes": 2097152,
+      "onchip_gbps": 2000, "offchip_gbps": 100,
+      "noc": "systolic",               // systolic | tree | crossbar
+      "frequency_ghz": 1.0,            // optional, default 1.0
+      "bytes_per_element": 2           // optional, default 2
+    }
+
+Workload schema::
+
+    {
+      "name": "my-model", "batch": 64, "heads": 16,
+      "d_model": 1024, "seq": 8192,    // or "seq_q"/"seq_kv"
+      "d_ff": 4096, "num_blocks": 24
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.memory import OffChipSpec, ScratchpadSpec
+from repro.arch.noc import NoCKind, NoCSpec
+from repro.arch.pe_array import PEArray
+from repro.arch.sfu import SFUSpec
+from repro.ops.attention import AttentionConfig
+
+__all__ = [
+    "accelerator_from_dict",
+    "accelerator_to_dict",
+    "dataflow_from_dict",
+    "dataflow_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+    "load_accelerator",
+    "load_workload",
+]
+
+
+def accelerator_from_dict(data: Dict[str, Any]) -> Accelerator:
+    """Build an :class:`Accelerator` from the documented JSON schema."""
+    try:
+        rows = int(data["pe_rows"])
+        cols = int(data["pe_cols"])
+        sg_bytes = int(data["sg_bytes"])
+        onchip = float(data["onchip_gbps"]) * 1e9
+        offchip = float(data["offchip_gbps"]) * 1e9
+    except KeyError as exc:
+        raise ValueError(f"accelerator spec missing field: {exc}") from None
+    noc_name = str(data.get("noc", "systolic"))
+    try:
+        noc_kind = NoCKind(noc_name)
+    except ValueError:
+        raise ValueError(
+            f"unknown NoC kind {noc_name!r}; choose from "
+            f"{[k.value for k in NoCKind]}"
+        ) from None
+    array = PEArray(rows=rows, cols=cols)
+    return Accelerator(
+        name=str(data.get("name", "custom")),
+        pe_array=array,
+        scratchpad=ScratchpadSpec(
+            size_bytes=sg_bytes, bandwidth_bytes_per_sec=onchip
+        ),
+        offchip=OffChipSpec(bandwidth_bytes_per_sec=offchip),
+        noc=NoCSpec(kind=noc_kind, words_per_cycle=rows + cols),
+        sfu=SFUSpec(elements_per_cycle=array.num_pes),
+        frequency_hz=float(data.get("frequency_ghz", 1.0)) * 1e9,
+        bytes_per_element=int(data.get("bytes_per_element", 2)),
+    )
+
+
+def accelerator_to_dict(accel: Accelerator) -> Dict[str, Any]:
+    """Inverse of :func:`accelerator_from_dict` (round-trips)."""
+    return {
+        "name": accel.name,
+        "pe_rows": accel.pe_array.rows,
+        "pe_cols": accel.pe_array.cols,
+        "sg_bytes": accel.sg_bytes,
+        "onchip_gbps": accel.scratchpad.bandwidth_bytes_per_sec / 1e9,
+        "offchip_gbps": accel.offchip.bandwidth_bytes_per_sec / 1e9,
+        "noc": accel.noc.kind.value,
+        "frequency_ghz": accel.frequency_hz / 1e9,
+        "bytes_per_element": accel.bytes_per_element,
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> AttentionConfig:
+    """Build an :class:`AttentionConfig` from the documented schema."""
+    try:
+        seq_q = int(data.get("seq_q", data.get("seq")))
+        seq_kv = int(data.get("seq_kv", data.get("seq")))
+        return AttentionConfig(
+            name=str(data.get("name", "custom")),
+            batch=int(data["batch"]),
+            heads=int(data["heads"]),
+            d_model=int(data["d_model"]),
+            seq_q=seq_q,
+            seq_kv=seq_kv,
+            d_ff=int(data["d_ff"]),
+            num_blocks=int(data.get("num_blocks", 1)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"workload spec invalid: {exc}") from None
+
+
+def workload_to_dict(cfg: AttentionConfig) -> Dict[str, Any]:
+    """Inverse of :func:`workload_from_dict` (round-trips)."""
+    return {
+        "name": cfg.name,
+        "batch": cfg.batch,
+        "heads": cfg.heads,
+        "d_model": cfg.d_model,
+        "seq_q": cfg.seq_q,
+        "seq_kv": cfg.seq_kv,
+        "d_ff": cfg.d_ff,
+        "num_blocks": cfg.num_blocks,
+    }
+
+
+def load_accelerator(path: str) -> Accelerator:
+    """Read an accelerator spec from a JSON file."""
+    with open(path, encoding="utf-8") as f:
+        return accelerator_from_dict(json.load(f))
+
+
+def load_workload(path: str) -> AttentionConfig:
+    """Read a workload spec from a JSON file."""
+    with open(path, encoding="utf-8") as f:
+        return workload_from_dict(json.load(f))
+
+
+def dataflow_to_dict(dataflow) -> Dict[str, Any]:
+    """Serialize a dataflow configuration (e.g. a DSE winner).
+
+    The inverse of :func:`dataflow_from_dict`; lets a search result be
+    saved next to the workload/accelerator specs and replayed later.
+    """
+    return {
+        "name": dataflow.name,
+        "fused": dataflow.fused,
+        "granularity": (
+            dataflow.granularity.value
+            if dataflow.granularity is not None else None
+        ),
+        "rows": dataflow.rows,
+        "batch_tile": dataflow.batch_tile,
+        "head_tile": dataflow.head_tile,
+        "staging": {
+            "lhs": dataflow.staging.lhs,
+            "rhs": dataflow.staging.rhs,
+            "rhs2": dataflow.staging.rhs2,
+            "out": dataflow.staging.out,
+            "intermediate": dataflow.staging.intermediate,
+        },
+        "stationarity": dataflow.stationarity.value,
+    }
+
+
+def dataflow_from_dict(data: Dict[str, Any]):
+    """Rebuild a dataflow configuration from its serialized form."""
+    from repro.core.dataflow import (
+        Dataflow,
+        Granularity,
+        StagingPolicy,
+        Stationarity,
+    )
+
+    try:
+        gran = data["granularity"]
+        staging = data.get("staging", {})
+        return Dataflow(
+            name=str(data.get("name", "custom")),
+            fused=bool(data["fused"]),
+            granularity=Granularity(gran) if gran is not None else None,
+            rows=int(data.get("rows", 0)),
+            batch_tile=int(data.get("batch_tile", 1)),
+            head_tile=int(data.get("head_tile", 1)),
+            staging=StagingPolicy(
+                lhs=bool(staging.get("lhs", True)),
+                rhs=bool(staging.get("rhs", True)),
+                rhs2=bool(staging.get("rhs2", True)),
+                out=bool(staging.get("out", True)),
+                intermediate=bool(staging.get("intermediate", True)),
+            ) if data.get("fused") or gran is not None else
+            StagingPolicy.all_disabled(),
+            stationarity=Stationarity(
+                data.get("stationarity", "output")
+            ),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"dataflow spec invalid: {exc}") from None

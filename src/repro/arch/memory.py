@@ -1,0 +1,96 @@
+"""Memory hierarchy models: global scratchpad, off-chip memory, arbiter.
+
+The paper models "the on-chip and off-chip memory as a limited shared HW
+resource ... when multiple units are requesting data from the memory and
+the number of data requested exceeds the memory BW, it incurs larger
+memory access overhead".  :class:`SharedBandwidthArbiter` implements that
+sharing for the tile-level simulator; the analytical model uses the
+specs' per-cycle bandwidths directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["ScratchpadSpec", "OffChipSpec", "SharedBandwidthArbiter"]
+
+
+@dataclass(frozen=True)
+class ScratchpadSpec:
+    """Global on-chip scratchpad (SG).
+
+    FLAT requires the SG to be *soft-partitioned* (ATTACC feature 1): at
+    run time the controller carves it into double-buffered L2-tile
+    regions and a FLAT-tile region.  Capacity and bandwidth are the only
+    architectural parameters; partitioning is a dataflow decision.
+    """
+
+    size_bytes: int
+    bandwidth_bytes_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("scratchpad size must be positive")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("scratchpad bandwidth must be positive")
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        return self.bandwidth_bytes_per_sec / frequency_hz
+
+
+@dataclass(frozen=True)
+class OffChipSpec:
+    """Off-chip memory (DRAM/HBM): high capacity, scarce bandwidth."""
+
+    bandwidth_bytes_per_sec: float
+    # Effectively unbounded for our workloads; kept for completeness.
+    size_bytes: int = 1 << 40
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError("off-chip bandwidth must be positive")
+        if self.size_bytes <= 0:
+            raise ValueError("off-chip size must be positive")
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        return self.bandwidth_bytes_per_sec / frequency_hz
+
+
+@dataclass
+class SharedBandwidthArbiter:
+    """Fair-share bandwidth arbiter used by the tile-level simulator.
+
+    Requesters register byte demands for a simulation phase; the arbiter
+    reports how long the phase takes when all demands share the channel.
+    With demands ``d_i`` and bandwidth ``W`` the phase needs
+    ``sum(d_i) / W`` cycles — fair sharing does not change the finish
+    time of the *set*, only of individuals, and the simulator advances
+    phase by phase, so total demand over bandwidth is exact.
+    """
+
+    bytes_per_cycle: float
+    _demands: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+
+    def request(self, requester: str, num_bytes: float) -> None:
+        """Accumulate a byte demand for the current phase."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._demands[requester] = self._demands.get(requester, 0.0) + num_bytes
+
+    def total_demand(self) -> float:
+        return sum(self._demands.values())
+
+    def phase_cycles(self) -> float:
+        """Cycles needed to serve all outstanding demands."""
+        return self.total_demand() / self.bytes_per_cycle
+
+    def reset(self) -> None:
+        self._demands.clear()
+
+    def demand_of(self, requester: str) -> float:
+        return self._demands.get(requester, 0.0)

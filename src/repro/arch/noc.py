@@ -1,0 +1,99 @@
+"""Network-on-chip models: systolic, tree and crossbar.
+
+The paper's cost model (section 5.3.1) "models different choices for data
+distribution and reduction NoCs (systolic, tree, crossbar) which trade
+off bandwidth and distribution/collection time".  We capture each NoC
+kind by (i) how many cycles it takes to fill/drain the PE array when a
+tile is switched and (ii) a multicast factor that divides distribution
+traffic when one word feeds many PEs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["NoCKind", "NoCSpec"]
+
+
+class NoCKind(enum.Enum):
+    """Distribution/reduction network topology."""
+
+    SYSTOLIC = "systolic"
+    TREE = "tree"
+    CROSSBAR = "crossbar"
+
+
+@dataclass(frozen=True)
+class NoCSpec:
+    """One NoC instance parameterized by topology.
+
+    Parameters
+    ----------
+    kind:
+        Topology.  Systolic arrays (TPU-style) pump data neighbor to
+        neighbor — cheap wiring, long fill/drain.  Trees (MAERI-style)
+        fill in O(log P) and support multicast.  Crossbars fill in O(1)
+        but are the most expensive in area (not modeled here; area is a
+        DSE constraint knob, see :mod:`repro.core.dse`).
+    words_per_cycle:
+        Peak injection bandwidth from the global scratchpad into the
+        array, in words.
+    """
+
+    kind: NoCKind
+    words_per_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.words_per_cycle <= 0:
+            raise ValueError("NoC words_per_cycle must be positive")
+
+    def fill_drain_cycles(self, rows: int, cols: int) -> int:
+        """Cycles to fill (or drain) a ``rows x cols`` array on tile switch.
+
+        The paper: "We model the overhead for switching tiles (filling
+        and draining of the array) to reflect the cold start and tailing
+        effect."
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dims must be positive")
+        if self.kind is NoCKind.SYSTOLIC:
+            return rows + cols - 2 if rows + cols > 2 else 0
+        if self.kind is NoCKind.TREE:
+            return math.ceil(math.log2(rows * cols)) if rows * cols > 1 else 0
+        return 1  # crossbar: single-hop
+
+    def multicast_factor(self, fanout: int) -> int:
+        """How many PEs one injected word can feed.
+
+        Trees and crossbars support multicast (one SG read feeds the
+        whole fanout); a systolic network forwards the same word down a
+        row/column, which is also an effective multicast along one
+        dimension — the caller passes the relevant fanout.
+        """
+        if fanout <= 0:
+            raise ValueError("fanout must be positive")
+        return fanout
+
+    def distribution_cycles(self, words: int, multicast_width: int = 1) -> float:
+        """Cycles to distribute ``words`` unique words to the array.
+
+        With multicast, each unique word is injected once regardless of
+        fanout; bandwidth is the binding constraint.
+        """
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        del multicast_width  # unique words already account for multicast
+        return words / self.words_per_cycle
+
+    def reduction_cycles(self, words: int) -> float:
+        """Cycles to collect ``words`` output words from the array.
+
+        Tree networks reduce spatially (log-depth already charged in
+        fill/drain); systolic and crossbar collect at injection
+        bandwidth.
+        """
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        return words / self.words_per_cycle

@@ -1,0 +1,62 @@
+"""Processing-element array model.
+
+A PE is a MAC unit plus a local scratchpad (SL).  The array is a
+``rows x cols`` grid; the intra-operator dataflow decides which GEMM
+dimensions map to the two spatial axes (see
+:mod:`repro.core.perf`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PEArray"]
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """Spatial array of processing elements.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical grid dimensions (e.g. 32x32 edge, 256x256 cloud).
+    sl_bytes:
+        Local scratchpad capacity per PE, holding the L1-tile of the
+        stationary operand plus in-flight partial sums.
+    macs_per_pe_per_cycle:
+        MAC throughput of one PE (1 in the paper's accelerators).
+    """
+
+    rows: int
+    cols: int
+    sl_bytes: int = 512
+    macs_per_pe_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("PE array dims must be positive")
+        if self.sl_bytes <= 0:
+            raise ValueError("sl_bytes must be positive")
+        if self.macs_per_pe_per_cycle <= 0:
+            raise ValueError("macs_per_pe_per_cycle must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Array-wide MAC throughput at full occupancy."""
+        return self.num_pes * self.macs_per_pe_per_cycle
+
+    def spatial_utilization(self, mapped_rows: int, mapped_cols: int) -> float:
+        """Fraction of PEs busy when a tile maps ``mapped_rows x mapped_cols``.
+
+        Mapping fewer logical rows/cols than the physical grid leaves PEs
+        idle — the "ceil quantization" loss the compute model charges.
+        """
+        if mapped_rows <= 0 or mapped_cols <= 0:
+            raise ValueError("mapped dims must be positive")
+        used = min(mapped_rows, self.rows) * min(mapped_cols, self.cols)
+        return used / self.num_pes

@@ -1,0 +1,53 @@
+"""Special function unit (SFU) model.
+
+The SFU executes non-linear activations, reductions and — critically for
+FLAT — the softmax between the Logit and Attend operators.  The paper
+sizes the SFU so it "has enough FLOPs to not bottleneck the compute flow"
+but still charges its latency on the critical path; we model softmax as a
+fixed number of elementary passes over each logit element at a
+configurable element throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SFUSpec"]
+
+
+@dataclass(frozen=True)
+class SFUSpec:
+    """Softmax / nonlinearity unit.
+
+    Parameters
+    ----------
+    elements_per_cycle:
+        How many tensor elements one cycle of the SFU can push through
+        one softmax pass.
+    softmax_passes:
+        Elementary passes per softmax: max-scan, exp + subtract,
+        sum-scan, divide — the classic numerically stable four-pass
+        formulation.  The fused executor in :mod:`repro.functional`
+        uses the same structure.
+    """
+
+    elements_per_cycle: int
+    softmax_passes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.elements_per_cycle <= 0:
+            raise ValueError("elements_per_cycle must be positive")
+        if self.softmax_passes <= 0:
+            raise ValueError("softmax_passes must be positive")
+
+    def softmax_cycles(self, num_elements: int) -> float:
+        """Cycles to softmax ``num_elements`` logit elements."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        return self.softmax_passes * num_elements / self.elements_per_cycle
+
+    def softmax_flops(self, num_elements: int) -> int:
+        """Arithmetic work of softmax, for energy accounting."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        return self.softmax_passes * num_elements

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Three modes:
+
+* ``python -m repro.cli <experiment>`` — regenerate one paper artifact
+  (``list`` enumerates, ``all`` runs everything, ``--json`` emits rows).
+* ``python -m repro.cli cost --model bert --seq 4096 --platform edge
+  [--dataflow flat-r64 | --dse] [--scope LA|Block|Model]`` — cost an
+  arbitrary workload, optionally from JSON specs
+  (``--workload-json`` / ``--accel-json``).
+* ``python -m repro.cli svg [--outdir DIR]`` — render the scatter/line
+  figures as standalone SVG files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.export import dumps
+from repro.experiments.runner import (
+    experiment_names,
+    run_experiment,
+    run_experiment_raw,
+)
+
+__all__ = ["main", "build_parser"]
+
+_COMMANDS = ("list", "all", "cost", "svg")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flat",
+        description=(
+            "Reproduction harness for 'FLAT: An Optimized Dataflow for "
+            "Mitigating Attention Bottlenecks' (ASPLOS 2023). Runs the "
+            "paper's tables and figures on the analytical cost model."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment name, 'list', 'all', 'cost' (ad-hoc workload "
+            "costing) or 'svg' (render figures)"
+        ),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress timing footers",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the experiment's typed rows as JSON instead of a table",
+    )
+    cost = parser.add_argument_group("cost mode")
+    cost.add_argument("--model", default="bert",
+                      help="zoo model name (default: bert)")
+    cost.add_argument("--seq", type=int, default=4096,
+                      help="sequence length (default: 4096)")
+    cost.add_argument("--batch", type=int, default=64,
+                      help="batch size (default: 64)")
+    cost.add_argument("--platform", default="edge",
+                      help="edge or cloud (default: edge)")
+    cost.add_argument("--scope", default="L-A",
+                      help="L-A, Block or Model (default: L-A)")
+    cost.add_argument("--dataflow", default=None,
+                      help="fixed dataflow, e.g. base, base-h, flat-r64; "
+                           "omit to run the DSE")
+    cost.add_argument("--workload-json", default=None,
+                      help="path to a workload JSON spec (overrides "
+                           "--model/--seq/--batch)")
+    cost.add_argument("--accel-json", default=None,
+                      help="path to an accelerator JSON spec (overrides "
+                           "--platform)")
+    svg = parser.add_argument_group("svg mode")
+    svg.add_argument("--outdir", default=".",
+                     help="directory for rendered SVG files (default: .)")
+    return parser
+
+
+def _scope_from_name(name: str):
+    from repro.ops.attention import Scope
+
+    for scope in Scope:
+        if scope.value.lower() == name.lower():
+            return scope
+    raise ValueError(
+        f"unknown scope {name!r}; choose from "
+        f"{[s.value for s in Scope]}"
+    )
+
+
+def _run_cost(args) -> str:
+    from repro.analysis.reports import format_bytes, format_table
+    from repro.arch.config_io import load_accelerator, load_workload
+    from repro.arch.presets import get_platform
+    from repro.core.configs import attacc
+    from repro.core.dataflow import parse_dataflow
+    from repro.core.perf import cost_scope
+    from repro.energy.model import energy_report
+    from repro.models.configs import model_config
+
+    if args.workload_json:
+        cfg = load_workload(args.workload_json)
+    else:
+        cfg = model_config(args.model, seq=args.seq, batch=args.batch)
+    if args.accel_json:
+        accel = load_accelerator(args.accel_json)
+    else:
+        accel = get_platform(args.platform)
+    scope = _scope_from_name(args.scope)
+
+    if args.dataflow:
+        dataflow = parse_dataflow(args.dataflow)
+        cost = cost_scope(cfg, scope, accel, dataflow)
+        chosen = dataflow.name
+    else:
+        best = attacc().evaluate(cfg, accel, scope=scope)
+        cost = best.cost
+        chosen = f"{best.dataflow.name} (DSE optimum)"
+    energy = energy_report(cost.counts)
+    rows = [
+        ("workload", f"{cfg.name} B={cfg.batch} H={cfg.heads} "
+                     f"D={cfg.d_model} Nq={cfg.seq_q} Nkv={cfg.seq_kv}"),
+        ("platform", f"{accel.name} ({accel.pe_array.num_pes} PEs, "
+                     f"{format_bytes(accel.sg_bytes)} SG)"),
+        ("dataflow", chosen),
+        ("scope", scope.value),
+        ("utilization", f"{cost.utilization:.3f}"),
+        ("runtime", f"{cost.runtime_s(accel) * 1e3:.3f} ms"),
+        ("off-chip traffic", format_bytes(cost.dram_bytes)),
+        ("energy", f"{energy.total_j:.3f} J"),
+        ("live footprint", format_bytes(cost.max_footprint_bytes)),
+    ]
+    return format_table(["metric", "value"], rows, title="Cost report")
+
+
+def _run_svg(args) -> str:
+    from repro.experiments.figures_svg import render_all
+
+    paths = render_all(args.outdir)
+    return "wrote:\n" + "\n".join(f"  {p}" for p in paths)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+    if args.experiment in ("cost", "svg"):
+        start = time.perf_counter()
+        try:
+            report = _run_cost(args) if args.experiment == "cost" else (
+                _run_svg(args)
+            )
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        if not args.quiet:
+            print(
+                f"[{args.experiment} finished in "
+                f"{time.perf_counter() - start:.1f}s]"
+            )
+        return 0
+    names = experiment_names() if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        start = time.perf_counter()
+        try:
+            if args.json:
+                report = dumps(run_experiment_raw(name))
+            else:
+                report = run_experiment(name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            print(report)
+            if not args.quiet:
+                print(
+                    f"[{name} finished in "
+                    f"{time.perf_counter() - start:.1f}s]"
+                )
+            print()
+        except BrokenPipeError:
+            # Downstream consumer (head, less) closed the pipe early.
+            sys.stderr.close()
+            return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,297 @@
+"""FLAT dataflow configuration space (paper section 4, Figure 7(b)).
+
+A :class:`Dataflow` is one point in the inter-operator dataflow space:
+
+* **fused** — whether Logit and Attend execute in concert (FLAT) or
+  sequentially (baseline);
+* **granularity** — the FLAT-/L3-tile scope: the whole batched
+  multi-head tensor (``M``), per-batch (``B``), per-head (``H``) or a
+  block of query rows (``R``, FLAT-only);
+* **staging** — per-tensor enable/disable of the FLAT-/L3-tile (the
+  paper's 2^5 choices, section 4.3);
+* **stationarity** — the intra-operator dataflow of the PE array
+  (weight/input/output stationary, section 5.3.1).
+
+``granularity=None`` encodes the plain ``Base`` dataflow that has no
+L3 tile at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = [
+    "Granularity",
+    "Stationarity",
+    "StagingPolicy",
+    "Dataflow",
+    "base",
+    "base_x",
+    "flat_x",
+    "flat_r",
+    "parse_dataflow",
+]
+
+
+class Granularity(enum.Enum):
+    """Execution granularity of the FLAT-/L3-tile (paper section 4.2.2).
+
+    ``M`` = batched multi-head (the entire intermediate tensor), ``B`` =
+    batch, ``H`` = head, ``R`` = row.  Row granularity is the fine-grained
+    option *only* FLAT can exploit — the baseline must finish all of L
+    before starting A, so tiling L's output rows buys it nothing.
+    """
+
+    M = "M"
+    B = "B"
+    H = "H"
+    R = "R"
+
+
+class Stationarity(enum.Enum):
+    """Intra-operator dataflow: which operand is pinned in the PE array."""
+
+    WEIGHT = "weight"
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class StagingPolicy:
+    """FLAT-tile enable/disable per tensor (paper sections 4.2.2, 4.3).
+
+    For the fused L-A operator the five tensors are the two inputs of L
+    (``lhs`` = Q rows, ``rhs`` = K), the second input of A (``rhs2`` =
+    V), the output of A (``out``) and the ``intermediate`` logit tile.
+    For an unfused operator only ``lhs``/``rhs``/``out`` apply.
+
+    Disabling a tensor's staging shrinks the live footprint but that
+    tensor then follows the baseline (L2-tiled) path with its higher
+    bandwidth demand — exactly the trade-off the paper exposes to the
+    DSE.
+    """
+
+    lhs: bool = True
+    rhs: bool = True
+    rhs2: bool = True
+    out: bool = True
+    intermediate: bool = True
+
+    @staticmethod
+    def all_enabled() -> "StagingPolicy":
+        return StagingPolicy()
+
+    @staticmethod
+    def all_disabled() -> "StagingPolicy":
+        return StagingPolicy(
+            lhs=False, rhs=False, rhs2=False, out=False, intermediate=False
+        )
+
+    @staticmethod
+    def intermediate_only() -> "StagingPolicy":
+        """The walk-through configuration of paper section 4.3."""
+        return StagingPolicy(
+            lhs=False, rhs=False, rhs2=False, out=False, intermediate=True
+        )
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.lhs or self.rhs or self.rhs2 or self.out or self.intermediate
+
+    def as_tuple(self) -> Tuple[bool, bool, bool, bool, bool]:
+        return (self.lhs, self.rhs, self.rhs2, self.out, self.intermediate)
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """One inter-operator dataflow configuration.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports (``"Base"``, ``"FLAT-R64"``, ...).
+    fused:
+        Execute L and A interleaved through the on-chip FLAT-tile.
+    granularity:
+        FLAT-/L3-tile granularity, or ``None`` for the plain baseline
+        with no L3 tile.
+    rows:
+        ``R`` — query rows per FLAT-tile, for ``Granularity.R``.
+    batch_tile, head_tile:
+        ``B_t``/``H_t`` — batch samples / heads per tile, for ``B``/``H``
+        granularity.
+    staging:
+        Per-tensor FLAT-/L3-tile enables.
+    stationarity:
+        Intra-operator dataflow of the PE array.
+    """
+
+    name: str
+    fused: bool
+    granularity: Optional[Granularity]
+    rows: int = 0
+    batch_tile: int = 1
+    head_tile: int = 1
+    staging: StagingPolicy = field(default_factory=StagingPolicy.all_enabled)
+    stationarity: Stationarity = Stationarity.OUTPUT
+
+    def __post_init__(self) -> None:
+        if self.granularity is None:
+            if self.fused:
+                raise ValueError(
+                    f"{self.name}: fused execution requires a FLAT-tile "
+                    "granularity; the plain baseline has none"
+                )
+            if self.staging.any_enabled:
+                raise ValueError(
+                    f"{self.name}: the plain baseline has no L3 tile, so no "
+                    "tensor can be staged"
+                )
+        if self.granularity is Granularity.R:
+            if not self.fused:
+                raise ValueError(
+                    f"{self.name}: row granularity is only reachable with "
+                    "fusion (paper section 6.2.1: Base cannot leverage R-Gran)"
+                )
+            if self.rows < 1:
+                raise ValueError(f"{self.name}: R granularity needs rows >= 1")
+        if self.batch_tile < 1 or self.head_tile < 1:
+            raise ValueError(f"{self.name}: tile counts must be >= 1")
+
+    @property
+    def has_l3(self) -> bool:
+        """Does this dataflow stage anything at the L3/FLAT level?"""
+        return self.granularity is not None
+
+    def cross_tile(self, batch: int, heads: int, seq_q: int) -> Tuple[int, int, int]:
+        """Resolve the cross-loop tile ``(b_t, h_t, r)`` for a workload.
+
+        This is the slice of the intermediate tensor one pass of the
+        (fused) operator produces: all four granularities are expressed
+        in the same three numbers.
+        """
+        if self.granularity is None:
+            # No L3 tile: the "pass" is the entire operator.
+            return batch, heads, seq_q
+        if self.granularity is Granularity.M:
+            return batch, heads, seq_q
+        if self.granularity is Granularity.B:
+            return min(self.batch_tile, batch), heads, seq_q
+        if self.granularity is Granularity.H:
+            return 1, min(self.head_tile, heads), seq_q
+        return 1, 1, min(self.rows, seq_q)
+
+    def with_name(self, name: str) -> "Dataflow":
+        return replace(self, name=name)
+
+
+# ----------------------------------------------------------------------
+# Named constructors matching Figure 7(b)
+# ----------------------------------------------------------------------
+def base(stationarity: Stationarity = Stationarity.OUTPUT) -> Dataflow:
+    """``Base``: sequential operators, no L3 tile (fixed-dataflow accels)."""
+    return Dataflow(
+        name="Base",
+        fused=False,
+        granularity=None,
+        staging=StagingPolicy.all_disabled(),
+        stationarity=stationarity,
+    )
+
+
+def base_x(
+    granularity: Granularity,
+    batch_tile: int = 1,
+    head_tile: int = 1,
+    staging: Optional[StagingPolicy] = None,
+    stationarity: Stationarity = Stationarity.OUTPUT,
+) -> Dataflow:
+    """``Base-X``: sequential operators with an L3 tile at granularity X."""
+    if granularity is Granularity.R:
+        raise ValueError("Base cannot use row granularity (requires fusion)")
+    return Dataflow(
+        name=f"Base-{granularity.value}",
+        fused=False,
+        granularity=granularity,
+        batch_tile=batch_tile,
+        head_tile=head_tile,
+        staging=staging if staging is not None else StagingPolicy.all_enabled(),
+        stationarity=stationarity,
+    )
+
+
+def flat_x(
+    granularity: Granularity,
+    batch_tile: int = 1,
+    head_tile: int = 1,
+    staging: Optional[StagingPolicy] = None,
+    stationarity: Stationarity = Stationarity.OUTPUT,
+) -> Dataflow:
+    """``FLAT-X``: fused L-A with a FLAT-tile at granularity M/B/H."""
+    if granularity is Granularity.R:
+        raise ValueError("use flat_r(rows) for row granularity")
+    return Dataflow(
+        name=f"FLAT-{granularity.value}",
+        fused=True,
+        granularity=granularity,
+        batch_tile=batch_tile,
+        head_tile=head_tile,
+        staging=staging if staging is not None else StagingPolicy.all_enabled(),
+        stationarity=stationarity,
+    )
+
+
+def flat_r(
+    rows: int,
+    staging: Optional[StagingPolicy] = None,
+    stationarity: Stationarity = Stationarity.OUTPUT,
+) -> Dataflow:
+    """``FLAT-Rx``: fused L-A at row granularity with ``rows`` rows."""
+    return Dataflow(
+        name=f"FLAT-R{rows}",
+        fused=True,
+        granularity=Granularity.R,
+        rows=rows,
+        staging=staging if staging is not None else StagingPolicy.all_enabled(),
+        stationarity=stationarity,
+    )
+
+
+def parse_dataflow(spec: str) -> Dataflow:
+    """Parse a dataflow name into a configuration.
+
+    Accepted forms (case-insensitive): ``base``, ``base-m``/``base-b``/
+    ``base-h``, ``flat-m``/``flat-b``/``flat-h``, and ``flat-r<rows>``
+    (e.g. ``flat-r64``).  This is the CLI's and config files' spelling
+    of Figure 7(b)'s dataflow names.
+    """
+    token = spec.strip().lower()
+    if token == "base":
+        return base()
+    if token.startswith("base-"):
+        suffix = token[len("base-"):].upper()
+        try:
+            return base_x(Granularity(suffix))
+        except ValueError:
+            raise ValueError(
+                f"unknown baseline granularity {suffix!r} in {spec!r}"
+            ) from None
+    if token.startswith("flat-r"):
+        digits = token[len("flat-r"):]
+        if not digits.isdigit() or int(digits) < 1:
+            raise ValueError(f"bad row count in {spec!r}")
+        return flat_r(int(digits))
+    if token.startswith("flat-"):
+        suffix = token[len("flat-"):].upper()
+        try:
+            return flat_x(Granularity(suffix))
+        except ValueError:
+            raise ValueError(
+                f"unknown FLAT granularity {suffix!r} in {spec!r}"
+            ) from None
+    raise ValueError(
+        f"cannot parse dataflow {spec!r}; expected base, base-m/b/h, "
+        "flat-m/b/h or flat-r<rows>"
+    )

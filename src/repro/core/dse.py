@@ -1,0 +1,240 @@
+"""Design-space exploration over FLAT's hyper-parameters (section 5.3.3).
+
+Enumerates every combination of the dataflow knobs of Figure 6(a) —
+granularity (with ``B_t``/``H_t``/``R`` sweeps), per-tensor FLAT-tile
+enables, and stationarity — evaluates each with the analytical cost
+model, and returns the optimum under a user-chosen objective
+("We use exhaustive search to find the optimum point under the
+user-specified objective, e.g., best run time").
+
+The full enumerated space, not just the winner, is retained so Figure 10
+(the Util-vs-footprint scatter) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.core.dataflow import (
+    Dataflow,
+    Granularity,
+    StagingPolicy,
+    Stationarity,
+    base,
+    base_x,
+    flat_r,
+    flat_x,
+)
+from repro.core.perf import PerfOptions, ScopeCost, cost_scope
+from repro.energy.model import EnergyReport, energy_report
+from repro.energy.tables import EnergyTable
+from repro.ops.attention import AttentionConfig, Scope
+
+__all__ = [
+    "Objective",
+    "DesignPoint",
+    "DSEResult",
+    "SearchSpace",
+    "enumerate_dataflows",
+    "search",
+]
+
+
+class Objective(enum.Enum):
+    """Optimization target for the DSE (paper sections 5.3.3, 6.3)."""
+
+    RUNTIME = "runtime"
+    ENERGY = "energy"
+    EDP = "edp"  # energy-delay product
+    FOOTPRINT = "footprint"
+
+    def key(self) -> Callable[["DesignPoint"], float]:
+        if self is Objective.RUNTIME:
+            return lambda p: p.cost.total_cycles
+        if self is Objective.ENERGY:
+            return lambda p: p.energy.total_j
+        if self is Objective.EDP:
+            return lambda p: p.energy.total_j * p.cost.total_cycles
+        return lambda p: float(p.cost.max_footprint_bytes)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated dataflow configuration."""
+
+    dataflow: Dataflow
+    cost: ScopeCost
+    energy: EnergyReport
+
+    @property
+    def utilization(self) -> float:
+        return self.cost.utilization
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.cost.max_footprint_bytes
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    """Outcome of one exhaustive search."""
+
+    best: DesignPoint
+    points: Tuple[DesignPoint, ...]
+    objective: Objective
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    def pareto_front(self) -> List[DesignPoint]:
+        """Utilization-vs-footprint Pareto front (Figure 10's frontier).
+
+        A point is on the front if no other point has both a smaller
+        footprint and a higher utilization.
+        """
+        ordered = sorted(
+            self.points, key=lambda p: (p.footprint_bytes, -p.utilization)
+        )
+        front: List[DesignPoint] = []
+        best_util = -1.0
+        for p in ordered:
+            if p.utilization > best_util:
+                front.append(p)
+                best_util = p.utilization
+        return front
+
+
+def _default_row_choices(seq_q: int, array_rows: int) -> Tuple[int, ...]:
+    """Row-count candidates for R granularity.
+
+    Geometric ladder from a single row up to the sequence length; small
+    R keeps the intermediate tile resident at long N, large R amortizes
+    K/V streaming, so the sweet spot moves with the workload and the
+    DSE needs both ends.  The array edge is included since it fills a
+    rigid array's rows exactly.
+    """
+    del array_rows  # flexible mapping folds any R; ladder is universal
+    rows = []
+    r = 1
+    while r <= seq_q and r <= 16384:
+        rows.append(r)
+        r *= 4
+    if not rows or rows[-1] != min(seq_q, 16384):
+        rows.append(min(seq_q, 16384))
+    return tuple(rows)
+
+
+def _staging_choices(exhaustive: bool) -> Tuple[StagingPolicy, ...]:
+    """FLAT-tile enable/disable combinations to explore.
+
+    The paper's space has 2^5 combinations; the default search uses the
+    meaningful corners (all-on, each-single-off, intermediate-only) to
+    keep the point count low, and ``exhaustive=True`` enables the full
+    2^5 product.
+    """
+    if exhaustive:
+        return tuple(
+            StagingPolicy(lhs=a, rhs=b, rhs2=c, out=d, intermediate=e)
+            for a, b, c, d, e in itertools.product((True, False), repeat=5)
+        )
+    policies = [StagingPolicy.all_enabled(), StagingPolicy.intermediate_only()]
+    for off in ("lhs", "rhs", "rhs2", "out", "intermediate"):
+        kwargs = {name: name != off for name in
+                  ("lhs", "rhs", "rhs2", "out", "intermediate")}
+        policies.append(StagingPolicy(**kwargs))
+    return tuple(policies)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Which slices of the dataflow space the DSE enumerates.
+
+    The named accelerator configurations of Figure 7(c) are expressed as
+    restrictions of this space (see :mod:`repro.core.configs`).
+    """
+
+    allow_fused: bool = True
+    allow_unfused: bool = True
+    granularities: Tuple[Granularity, ...] = (
+        Granularity.M,
+        Granularity.B,
+        Granularity.H,
+        Granularity.R,
+    )
+    row_choices: Optional[Tuple[int, ...]] = None
+    stationarities: Tuple[Stationarity, ...] = (Stationarity.OUTPUT,)
+    exhaustive_staging: bool = False
+    include_plain_base: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.allow_fused or self.allow_unfused):
+            raise ValueError("search space admits neither fused nor unfused")
+        if not self.granularities and self.include_plain_base is False:
+            raise ValueError("empty granularity set with no plain base")
+
+
+def enumerate_dataflows(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    space: SearchSpace = SearchSpace(),
+) -> Iterator[Dataflow]:
+    """Yield every dataflow configuration in the search space."""
+    stagings = _staging_choices(space.exhaustive_staging)
+    rows = (
+        space.row_choices
+        if space.row_choices is not None
+        else _default_row_choices(cfg.seq_q, accel.pe_array.rows)
+    )
+    for stat in space.stationarities:
+        if space.allow_unfused and space.include_plain_base:
+            yield base(stationarity=stat)
+        for gran in space.granularities:
+            if gran is Granularity.R:
+                if not space.allow_fused:
+                    continue
+                for r in rows:
+                    for staging in stagings:
+                        if not staging.any_enabled:
+                            continue
+                        yield flat_r(r, staging=staging, stationarity=stat)
+                continue
+            for staging in stagings:
+                if not staging.any_enabled:
+                    continue
+                if space.allow_unfused:
+                    yield base_x(gran, staging=staging, stationarity=stat)
+                if space.allow_fused:
+                    yield flat_x(gran, staging=staging, stationarity=stat)
+
+
+def search(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    scope: Scope = Scope.LA,
+    objective: Objective = Objective.RUNTIME,
+    space: SearchSpace = SearchSpace(),
+    options: PerfOptions = PerfOptions(),
+    energy_table: Optional[EnergyTable] = None,
+) -> DSEResult:
+    """Exhaustively evaluate the space and return the optimum.
+
+    Every candidate drives the L/A pair; non-fused operators in the
+    scope always run with their own per-operator best (handled inside
+    :func:`~repro.core.perf.cost_scope` via the ``other_dataflow``
+    default).
+    """
+    points: List[DesignPoint] = []
+    for dataflow in enumerate_dataflows(cfg, accel, space):
+        cost = cost_scope(cfg, scope, accel, dataflow, options=options)
+        energy = energy_report(cost.counts, energy_table)
+        points.append(DesignPoint(dataflow=dataflow, cost=cost, energy=energy))
+    if not points:
+        raise ValueError("search space is empty")
+    key = objective.key()
+    best = min(points, key=key)
+    return DSEResult(best=best, points=tuple(points), objective=objective)

@@ -1,0 +1,95 @@
+"""Loop-nest rendering: the paper's Figure 4, programmatically.
+
+Given a workload and a dataflow, emit the explicit loop nest the
+accelerator controller would execute — the baseline's two sequential
+5-level nests with an off-chip round trip between them, or FLAT's
+shared cross-loop with interleaved L/softmax/A stages.  Used by the
+documentation, the tests (which assert the structural properties the
+paper's legality argument needs), and anyone debugging a dataflow
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dataflow import Dataflow
+from repro.core.tiling import ceil_div
+from repro.ops.attention import AttentionConfig
+
+__all__ = ["render_loop_nest"]
+
+
+def _baseline_nest(cfg: AttentionConfig) -> List[str]:
+    n_q, n_kv, dk = cfg.seq_q, cfg.seq_kv, cfg.d_head
+    lines = [
+        "# Baseline: L runs to completion, then softmax, then A.",
+        f"for b in range({cfg.batch}):            # batch",
+        f"    for h in range({cfg.heads}):        # heads",
+        f"        for m in range({n_q}):          # query rows",
+        f"            for n in range({n_kv}):     # key columns",
+        f"                for k in range({dk}):   # reduction",
+        "                    L[b,h,m,n] += Q[b,h,m,k] * K[b,h,n,k]",
+        "spill L to off-chip DRAM                 # O(B*H*N^2) write",
+        "softmax pass over L                      # O(B*H*N^2) read+write",
+        f"for b in range({cfg.batch}):",
+        f"    for h in range({cfg.heads}):",
+        f"        for m in range({n_q}):",
+        f"            for n in range({dk}):       # output features",
+        f"                for k in range({n_kv}): # reduction over keys",
+        "                    O[b,h,m,n] += P[b,h,m,k] * V[b,h,k,n]",
+        "                                         # P re-read: O(B*H*N^2)",
+    ]
+    return lines
+
+
+def _flat_nest(cfg: AttentionConfig, dataflow: Dataflow) -> List[str]:
+    b_t, h_t, r = dataflow.cross_tile(cfg.batch, cfg.heads, cfg.seq_q)
+    n_kv, dk = cfg.seq_kv, cfg.d_head
+    groups_b = ceil_div(cfg.batch, b_t)
+    groups_h = ceil_div(cfg.heads, h_t)
+    row_blocks = ceil_div(cfg.seq_q, r)
+    gran = dataflow.granularity.value if dataflow.granularity else "-"
+    header = [
+        f"# FLAT ({gran}-Gran): shared cross-loop, interleaved stages.",
+        f"# FLAT-tile = (B_t={b_t}, H_t={h_t}, R={r}); intermediate slice "
+        f"[{b_t}*{h_t}, {r}, {n_kv}] stays on-chip.",
+    ]
+    cross = [
+        f"for bo in range({groups_b}):             # cross-loop: batch tiles",
+        f"  for ho in range({groups_h}):           # cross-loop: head tiles",
+        f"    for ro in range({row_blocks}):       # cross-loop: row blocks",
+        "      prefetch next FLAT-tile (double buffered)",
+        "      # stage 1: Logit on the full PE array",
+        f"      for m in range({r}):               # rows of this block",
+        f"        for n in range({n_kv}):",
+        f"          for k in range({dk}):",
+        "            Lt[m,n] += Qt[m,k] * Kt[n,k]",
+        "      softmax(Lt) on the SFU              # complete rows: exact",
+        "      # stage 2: Attend on the full PE array (interleaved)",
+        f"      for m in range({r}):",
+        f"        for n in range({dk}):",
+        f"          for k in range({n_kv}):",
+        "            Ot[m,n] += Lt[m,k] * Vt[k,n]",
+        "      write Ot to DRAM                    # O(R*dk) per pass",
+    ]
+    return header + cross
+
+
+def render_loop_nest(cfg: AttentionConfig, dataflow: Dataflow) -> str:
+    """Render the L-A execution loop nest for a dataflow.
+
+    The fused rendering always shows the row-complete intermediate
+    slice (the legality invariant); the baseline rendering shows the
+    off-chip round trip FLAT eliminates.
+    """
+    if dataflow.fused:
+        lines = _flat_nest(cfg, dataflow)
+    else:
+        lines = _baseline_nest(cfg)
+    title = (
+        f"Loop nest for {cfg.name} (B={cfg.batch}, H={cfg.heads}, "
+        f"Nq={cfg.seq_q}, Nkv={cfg.seq_kv}, dk={cfg.d_head}) under "
+        f"{dataflow.name}"
+    )
+    return title + "\n" + "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Cost-model adapter for sparse attention (paper section 7).
+
+Structured sparse attention bounds each query row's key set, so the L/A
+pair of a sparse model is — for cost purposes — a dense pair at a
+reduced key length: per row, ``row_span`` keys are multiplied,
+softmaxed and attended instead of ``N``.  The adapter therefore builds
+the *dense-equivalent* configuration and reuses the entire dataflow /
+cost machinery unchanged, which is precisely the paper's orthogonality
+argument: FLAT neither knows nor cares that the logit matrix was
+thinned, it just sees a smaller intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.accelerator import Accelerator
+from repro.core.dataflow import Dataflow
+from repro.core.perf import OperatorCost, PerfOptions, cost_la_pair
+from repro.ops.attention import AttentionConfig
+from repro.ops.sparse import SparsityPattern
+
+__all__ = ["sparse_equivalent_config", "cost_sparse_la"]
+
+
+def sparse_equivalent_config(
+    cfg: AttentionConfig, pattern: SparsityPattern
+) -> AttentionConfig:
+    """The dense configuration whose L/A pair costs like the sparse one.
+
+    Queries keep their count; the key/value length shrinks to the
+    pattern's per-row span.  (Projections and FCs are untouched by
+    attention-matrix sparsity and should be costed on the original
+    config.)
+    """
+    span = pattern.effective_kv_length(cfg.seq_kv)
+    return replace(cfg, seq_kv=span, name=f"{cfg.name}+{pattern.kind.value}")
+
+
+def cost_sparse_la(
+    cfg: AttentionConfig,
+    pattern: SparsityPattern,
+    dataflow: Dataflow,
+    accel: Accelerator,
+    options: PerfOptions = PerfOptions(),
+) -> OperatorCost:
+    """Cost the L-A pair of a sparse-attention model under any dataflow."""
+    return cost_la_pair(
+        sparse_equivalent_config(cfg, pattern), dataflow, accel, options
+    )

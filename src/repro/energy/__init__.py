@@ -1,0 +1,17 @@
+"""Energy estimation (the repository's Accelergy substitution).
+
+Per-action energy tables (:mod:`repro.energy.tables`) combined with
+activity counts from the performance model
+(:mod:`repro.energy.model`).
+"""
+
+from repro.energy.model import ActivityCounts, EnergyReport, energy_report
+from repro.energy.tables import EnergyTable, default_table
+
+__all__ = [
+    "ActivityCounts",
+    "EnergyReport",
+    "energy_report",
+    "EnergyTable",
+    "default_table",
+]

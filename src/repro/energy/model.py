@@ -1,0 +1,108 @@
+"""Energy accounting from activity counts.
+
+The performance model (:mod:`repro.core.perf`) produces
+:class:`ActivityCounts`; this module converts them to Joules with an
+:class:`~repro.energy.tables.EnergyTable`.  Note the paper's observation
+(section 5.3.2): "FLAT does not change the total computations or the
+total buffer accesses to SG; what it changes is the number of off-chip
+accesses" — consequently MAC and SL energies are identical between Base
+and FLAT here, and all savings show up in the DRAM term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.tables import EnergyTable, default_table
+
+__all__ = ["ActivityCounts", "EnergyReport", "energy_report"]
+
+
+@dataclass(frozen=True)
+class ActivityCounts:
+    """Elementary action counts for one execution.
+
+    All memory counts are in 16-bit words (one element each).
+    """
+
+    macs: float = 0.0
+    sl_words: float = 0.0
+    sg_words: float = 0.0
+    dram_words: float = 0.0
+    sfu_ops: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("macs", "sl_words", "sg_words", "dram_words", "sfu_ops"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def __add__(self, other: "ActivityCounts") -> "ActivityCounts":
+        return ActivityCounts(
+            macs=self.macs + other.macs,
+            sl_words=self.sl_words + other.sl_words,
+            sg_words=self.sg_words + other.sg_words,
+            dram_words=self.dram_words + other.dram_words,
+            sfu_ops=self.sfu_ops + other.sfu_ops,
+        )
+
+    def scaled(self, factor: float) -> "ActivityCounts":
+        """Counts multiplied by ``factor`` (e.g. blocks per model)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return ActivityCounts(
+            macs=self.macs * factor,
+            sl_words=self.sl_words * factor,
+            sg_words=self.sg_words * factor,
+            dram_words=self.dram_words * factor,
+            sfu_ops=self.sfu_ops * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown in Joules."""
+
+    compute_j: float
+    sl_j: float
+    sg_j: float
+    dram_j: float
+    sfu_j: float
+    counts: ActivityCounts = field(repr=False, default_factory=ActivityCounts)
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.sl_j + self.sg_j + self.dram_j + self.sfu_j
+
+    @property
+    def offchip_fraction(self) -> float:
+        """Share of total energy spent on DRAM accesses."""
+        total = self.total_j
+        return self.dram_j / total if total > 0 else 0.0
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        return EnergyReport(
+            compute_j=self.compute_j + other.compute_j,
+            sl_j=self.sl_j + other.sl_j,
+            sg_j=self.sg_j + other.sg_j,
+            dram_j=self.dram_j + other.dram_j,
+            sfu_j=self.sfu_j + other.sfu_j,
+            counts=self.counts + other.counts,
+        )
+
+
+_PJ = 1e-12
+
+
+def energy_report(
+    counts: ActivityCounts, table: EnergyTable | None = None
+) -> EnergyReport:
+    """Convert activity counts into an :class:`EnergyReport`."""
+    t = table if table is not None else default_table()
+    return EnergyReport(
+        compute_j=counts.macs * t.pj_per_mac * _PJ,
+        sl_j=counts.sl_words * t.pj_per_sl_word * _PJ,
+        sg_j=counts.sg_words * t.pj_per_sg_word * _PJ,
+        dram_j=counts.dram_words * t.pj_per_dram_word * _PJ,
+        sfu_j=counts.sfu_ops * t.pj_per_sfu_op * _PJ,
+        counts=counts,
+    )

@@ -1,0 +1,69 @@
+"""Per-action energy tables (Accelergy substitution).
+
+The paper feeds activity counts from its performance model into Accelergy
+[Wu et al., ICCAD'19] to estimate energy.  Accelergy is not available
+offline, so this module plays its role: a table of energy-per-action
+constants for each architectural component, combined with activity counts
+by :mod:`repro.energy.model`.
+
+Constants follow the well-known ~45nm/28nm energy hierarchy popularized
+by Horowitz (ISSCC'14) and the Eyeriss papers, scaled to 16-bit
+operations:
+
+* a 16-bit MAC costs ~1 pJ,
+* a small local scratchpad (SL) access costs a similar order (~1 pJ),
+* a large global SRAM (SG) access costs ~6x a MAC,
+* a DRAM access costs ~200x a MAC — "orders of magnitude more expensive
+  in energy than on-chip" (paper section 5.3.2), which is the entire
+  energy story of FLAT: it removes off-chip accesses, not arithmetic.
+
+Absolute Joules will not match the authors' (different process, different
+estimator); ratios — the quantity Figure 9 and Figure 12(a) report — are
+governed by the DRAM:SRAM:MAC hierarchy, which is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EnergyTable", "default_table"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per elementary action, in picojoules.
+
+    All "word" actions are per 16-bit word.
+    """
+
+    pj_per_mac: float = 1.0
+    pj_per_sl_word: float = 1.0
+    pj_per_sg_word: float = 6.0
+    pj_per_dram_word: float = 200.0
+    pj_per_sfu_op: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pj_per_mac",
+            "pj_per_sl_word",
+            "pj_per_sg_word",
+            "pj_per_dram_word",
+            "pj_per_sfu_op",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.pj_per_dram_word < self.pj_per_sg_word:
+            raise ValueError(
+                "DRAM access must not be cheaper than SG access; the "
+                "energy hierarchy is the model's core assumption"
+            )
+
+    @property
+    def dram_to_sg_ratio(self) -> float:
+        """How much costlier an off-chip word is than an on-chip word."""
+        return self.pj_per_dram_word / self.pj_per_sg_word
+
+
+def default_table() -> EnergyTable:
+    """The default 16-bit energy table described in the module docstring."""
+    return EnergyTable()

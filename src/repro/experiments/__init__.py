@@ -1,0 +1,57 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+One module per artifact (``table1``/``table2``/``fig2``/``fig8``/...),
+each exposing ``run(...)`` returning typed rows and a ``format_*``
+renderer, plus a registry (:mod:`repro.experiments.runner`) the CLI and
+benchmarks dispatch through.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ext_batch,
+    ext_decode,
+    ext_hierarchy,
+    ext_online,
+    ext_quant,
+    ext_scaleout,
+    ext_sparse,
+    ext_suite,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    iso_area,
+    summary,
+    table1,
+    table2,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiment_names,
+    run_experiment,
+)
+
+__all__ = [
+    "ext_batch",
+    "ext_decode",
+    "ext_hierarchy",
+    "ext_online",
+    "ext_quant",
+    "ext_scaleout",
+    "ext_sparse",
+    "ext_suite",
+    "fig2",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "iso_area",
+    "summary",
+    "table1",
+    "table2",
+    "EXPERIMENTS",
+    "experiment_names",
+    "run_experiment",
+]

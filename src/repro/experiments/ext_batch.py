@@ -1,0 +1,81 @@
+"""Extension experiment: the batch-size lever, measured end to end.
+
+Section 2.2's asymptotics say batching raises projection/FC intensity
+(reciprocal ``2/D + 1/(B·N)``) but cannot touch the L/A operators
+(reciprocal ``2/N + H/D``).  Figure 2(b) shows this on a roofline;
+this experiment re-derives it from the *full cost model*: sweep the
+batch size and report the utilization of the projections+FCs versus
+the L-A pair under the plain baseline dataflow on the edge platform.
+The default sequence is short (32 tokens) because weight amortization
+across a long sequence already saturates the projections at batch 1 —
+the batch lever matters exactly when per-sample token counts are small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.reports import format_float, format_table
+from repro.arch.presets import get_platform
+from repro.core.dataflow import base
+from repro.core.perf import cost_operator, cost_la_pair
+from repro.models.configs import model_config
+from repro.ops.attention import Scope, operators_for_scope
+
+__all__ = ["BatchRow", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    batch: int
+    projection_util: float
+    la_util: float
+
+
+def run(
+    platform: str = "edge",
+    model: str = "bert",
+    seq: int = 32,
+    batches: Sequence[int] = (1, 4, 16, 64, 256),
+) -> List[BatchRow]:
+    accel = get_platform(platform)
+    dataflow = base()
+    rows: List[BatchRow] = []
+    for b in batches:
+        cfg = model_config(model, seq=seq, batch=b)
+        ops = operators_for_scope(cfg, Scope.BLOCK)
+        proj_total = proj_ideal = 0.0
+        for op in ops:
+            if op.is_activation_activation:
+                continue
+            cost = cost_operator(cfg, op, dataflow, accel)
+            proj_total += cost.total_cycles
+            proj_ideal += cost.ideal_cycles
+        la = cost_la_pair(cfg, dataflow, accel)
+        rows.append(
+            BatchRow(
+                batch=b,
+                projection_util=proj_ideal / proj_total,
+                la_util=la.utilization,
+            )
+        )
+    return rows
+
+
+def format_report(rows: List[BatchRow]) -> str:
+    table = format_table(
+        ["Batch", "Projections+FCs Util", "L-A Util"],
+        [
+            (r.batch, format_float(r.projection_util),
+             format_float(r.la_util))
+            for r in rows
+        ],
+        title="Extension: batch-size lever measured on the full model "
+              "(BERT, short sequence, edge, Base dataflow)",
+    )
+    return table + (
+        "\nBatching amortizes weights and lifts the activation-weight "
+        "operators toward\npeak; the activation-activation pair does "
+        "not move — section 2.2, measured."
+    )

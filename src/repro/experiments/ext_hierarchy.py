@@ -1,0 +1,84 @@
+"""Extension experiment: a second on-chip tier rescues FLAT at long N.
+
+Section 3.1 notes the model extends to multi-level on-chip hierarchies.
+At N = 64K on the edge platform, FLAT's ``4*N*dk`` K/V staging (32 MB)
+dwarfs the 512 KB SG, so FLAT degrades toward the baseline.  Add an
+on-package eDRAM tier (Tetris-style) and the staging lands there: the
+SG keeps serving L2 tiles, the tier absorbs the K/V re-streams at
+tier bandwidth, and utilization recovers — a cheaper fix than 64 MB of
+SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.reports import format_bytes, format_float, format_table
+from repro.arch.presets import get_platform
+from repro.core.dataflow import base, flat_r
+from repro.core.hierarchy import MemoryTier, cost_la_pair_two_level
+from repro.core.perf import cost_la_pair
+from repro.models.configs import model_config
+
+__all__ = ["HierarchyRow", "run", "format_report"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class HierarchyRow:
+    tier_bytes: int
+    base_util: float
+    flat_util: float
+
+
+def run(
+    platform: str = "edge",
+    model: str = "bert",
+    seq: int = 65536,
+    rows_per_tile: int = 256,
+    tier_sizes: Sequence[int] = (0, 8 * MB, 32 * MB, 128 * MB),
+    tier_gbps: float = 200.0,
+) -> List[HierarchyRow]:
+    accel = get_platform(platform)
+    cfg = model_config(model, seq=seq)
+    flat = flat_r(rows_per_tile)
+    rows: List[HierarchyRow] = []
+    for size in tier_sizes:
+        if size == 0:
+            base_cost = cost_la_pair(cfg, base(), accel)
+            flat_cost = cost_la_pair(cfg, flat, accel)
+        else:
+            tier = MemoryTier(
+                size_bytes=size, bandwidth_bytes_per_sec=tier_gbps * 1e9
+            )
+            base_cost = cost_la_pair_two_level(cfg, base(), accel, tier)
+            flat_cost = cost_la_pair_two_level(cfg, flat, accel, tier)
+        rows.append(
+            HierarchyRow(
+                tier_bytes=size,
+                base_util=base_cost.utilization,
+                flat_util=flat_cost.utilization,
+            )
+        )
+    return rows
+
+
+def format_report(rows: List[HierarchyRow]) -> str:
+    table = format_table(
+        ["On-package tier", "Base Util", "FLAT-R Util"],
+        [
+            ("none" if r.tier_bytes == 0 else format_bytes(r.tier_bytes),
+             format_float(r.base_util), format_float(r.flat_util))
+            for r in rows
+        ],
+        title="Extension: two-level on-chip hierarchy "
+              "(BERT-64K, edge, 200 GB/s eDRAM tier)",
+    )
+    return table + (
+        "\nThe tier absorbs FLAT's K/V staging spill at on-package "
+        "bandwidth, recovering\nthe utilization the 512 KB SG alone "
+        "cannot deliver at 64K — section 3.1's\nmulti-level claim, "
+        "quantified."
+    )

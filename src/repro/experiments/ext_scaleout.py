@@ -1,0 +1,92 @@
+"""Extension experiment: scaling out behind a shared off-chip channel.
+
+Instantiate 1..T copies of the cloud accelerator slice behind a single
+400 GB/s channel and measure aggregate throughput under the best
+unfused dataflow vs the best FLAT dataflow.  The unfused baseline's
+O(N^2) traffic saturates the shared channel after a cluster or two;
+FLAT's compulsory-only traffic keeps scaling until the compute is the
+bottleneck — the system-level payoff of the Figure 12(b) bandwidth
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.reports import format_float, format_table
+from repro.arch.cluster import ClusteredAccelerator
+from repro.arch.presets import get_platform
+from repro.core.configs import attacc, flex_accel
+from repro.models.configs import model_config
+from repro.ops.attention import Scope
+
+__all__ = ["ScaleoutRow", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class ScaleoutRow:
+    clusters: int
+    base_tops: float
+    flat_tops: float
+
+    @property
+    def flat_advantage(self) -> float:
+        return self.flat_tops / self.base_tops
+
+
+def run(
+    platform: str = "cloud",
+    model: str = "xlm",
+    seq: int = 16384,
+    cluster_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> List[ScaleoutRow]:
+    reference = get_platform(platform)
+    cfg = model_config(model, seq=seq)
+    flex = flex_accel()
+    att = attacc()
+    rows: List[ScaleoutRow] = []
+    # The chiplet framing: every cluster is a full accelerator die with
+    # its own scratchpad, and the clusters share one memory channel —
+    # Simba-style scale-out, where SRAM scales with silicon but DRAM
+    # pins do not.
+    slice_accel = reference
+    for t in cluster_counts:
+        system = ClusteredAccelerator(
+            slice_accel=slice_accel,
+            num_clusters=t,
+            shared_offchip_bytes_per_sec=(
+                reference.offchip.bandwidth_bytes_per_sec
+            ),
+        )
+        view = system.per_cluster_view()
+        peak_tops = 2.0 * system.peak_macs_per_cycle * \
+            reference.frequency_hz / 1e12
+        base_util = flex.evaluate(cfg, view, scope=Scope.LA).utilization
+        flat_util = att.evaluate(cfg, view, scope=Scope.LA).utilization
+        rows.append(
+            ScaleoutRow(
+                clusters=t,
+                base_tops=base_util * peak_tops,
+                flat_tops=flat_util * peak_tops,
+            )
+        )
+    return rows
+
+
+def format_report(rows: List[ScaleoutRow]) -> str:
+    table = format_table(
+        ["Clusters", "Unfused TOPS", "FLAT TOPS", "FLAT advantage"],
+        [
+            (r.clusters, format_float(r.base_tops, 2),
+             format_float(r.flat_tops, 2),
+             f"{r.flat_advantage:.2f}x")
+            for r in rows
+        ],
+        title="Extension: scale-out behind one shared 400 GB/s channel "
+              "(XLM-16K)",
+    )
+    return table + (
+        "\nThe unfused baseline's quadratic traffic saturates the shared "
+        "channel;\nFLAT keeps converting added clusters into throughput."
+    )

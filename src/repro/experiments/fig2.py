@@ -1,0 +1,105 @@
+"""Figure 2: rooflines, the batch-size lever, and the on-chip ceiling.
+
+Three sub-experiments, all pure roofline math:
+
+* (a) CONV vs FC vs L/A operational intensity on the platform roofline;
+* (b) batch-size sweep — FC intensity grows with batch, L/A is flat;
+* (c) the raised ceiling when the working set is staged on-chip, with
+  the footprint-vs-capacity overhead that makes (c) unreachable for
+  L/A at long N (the paper's "overhead to implement (c)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.reports import format_bytes, format_float, format_table
+from repro.analysis.roofline import (
+    RooflinePoint,
+    batch_sweep_points,
+    roofline_points,
+    staged_ceiling_points,
+)
+from repro.arch.accelerator import Accelerator
+from repro.arch.presets import get_platform
+from repro.models.configs import model_config
+from repro.ops.intensity import la_staging_bytes
+
+__all__ = ["Fig2Report", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class Fig2Report:
+    """All three panels of Figure 2 for one platform/model."""
+
+    platform: str
+    model: str
+    seq: int
+    panel_a: List[RooflinePoint]
+    panel_b: List[Tuple[int, RooflinePoint, RooflinePoint]]
+    panel_c: List[Tuple[str, float, float]]
+    la_footprint_bytes: int
+    sg_bytes: int
+
+
+def run(
+    platform: str = "edge", model: str = "bert", seq: int = 4096
+) -> Fig2Report:
+    accel: Accelerator = get_platform(platform)
+    cfg = model_config(model, seq=seq)
+    return Fig2Report(
+        platform=platform,
+        model=model,
+        seq=seq,
+        panel_a=roofline_points(cfg, accel),
+        panel_b=batch_sweep_points(cfg, accel),
+        panel_c=staged_ceiling_points(cfg, accel),
+        la_footprint_bytes=la_staging_bytes(cfg, accel.bytes_per_element),
+        sg_bytes=accel.sg_bytes,
+    )
+
+
+def format_report(report: Fig2Report) -> str:
+    parts = []
+    parts.append(
+        format_table(
+            ["Operator", "Intensity (FLOP/B)", "Attainable (frac of peak)"],
+            [
+                (p.name, format_float(p.intensity_flops_per_byte),
+                 format_float(p.peak_fraction))
+                for p in report.panel_a
+            ],
+            title=(
+                f"Figure 2(a): roofline on {report.platform} "
+                f"({report.model}, N={report.seq})"
+            ),
+        )
+    )
+    parts.append(
+        format_table(
+            ["Batch", "FC attainable", "L/A attainable"],
+            [
+                (b, format_float(fc.peak_fraction),
+                 format_float(la.peak_fraction))
+                for b, fc, la in report.panel_b
+            ],
+            title="Figure 2(b): batch size raises FC, not L/A",
+        )
+    )
+    parts.append(
+        format_table(
+            ["Operator", "Off-chip ceiling", "On-chip ceiling"],
+            [
+                (name, format_float(off), format_float(on))
+                for name, off, on in report.panel_c
+            ],
+            title="Figure 2(c): staging raises the roof",
+        )
+    )
+    parts.append(
+        "Figure 2(d): the overhead of (c) — L/A live footprint "
+        f"{format_bytes(report.la_footprint_bytes)} vs on-chip buffer "
+        f"{format_bytes(report.sg_bytes)}"
+    )
+    return "\n\n".join(parts)

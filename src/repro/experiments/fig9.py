@@ -1,0 +1,98 @@
+"""Figure 9: energy consumption of every Figure 8 data point.
+
+The paper normalizes each sub-plot by its largest energy value; so do
+we.  The qualitative claims to reproduce: FLAT-X / FLAT-opt generally
+sit below Base-X / Base-opt (fewer off-chip accesses), and high Util
+correlates with — but does not imply — low energy (section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reports import format_bytes, format_float, format_table
+from repro.experiments import fig8
+from repro.ops.attention import Scope
+
+__all__ = ["Fig9Cell", "run", "format_report"]
+
+
+@dataclass(frozen=True)
+class Fig9Cell:
+    """One energy point, normalized within its (scope, seq) sub-plot."""
+
+    scope: str
+    seq: int
+    dataflow_name: str
+    buffer_bytes: int
+    energy_j: float
+    normalized_energy: float
+    utilization: float
+
+
+def run(
+    platform: str = "edge",
+    model: Optional[str] = None,
+    seqs: Optional[Sequence[int]] = None,
+    scopes: Sequence[Scope] = (Scope.LA, Scope.BLOCK, Scope.MODEL),
+    buffer_sizes: Optional[Sequence[int]] = None,
+    include_dse: bool = True,
+) -> List[Fig9Cell]:
+    """Run the Figure 8 sweep and normalize energies per sub-plot."""
+    cells = fig8.run(
+        platform=platform, model=model, seqs=seqs, scopes=scopes,
+        buffer_sizes=buffer_sizes, include_dse=include_dse,
+    )
+    max_by_group: Dict[Tuple[str, int], float] = {}
+    for c in cells:
+        key = (c.scope, c.seq)
+        max_by_group[key] = max(max_by_group.get(key, 0.0), c.energy_j)
+    out = []
+    for c in cells:
+        peak = max_by_group[(c.scope, c.seq)]
+        out.append(
+            Fig9Cell(
+                scope=c.scope,
+                seq=c.seq,
+                dataflow_name=c.dataflow_name,
+                buffer_bytes=c.buffer_bytes,
+                energy_j=c.energy_j,
+                normalized_energy=c.energy_j / peak if peak > 0 else 0.0,
+                utilization=c.utilization,
+            )
+        )
+    return out
+
+
+def format_report(cells: List[Fig9Cell], platform: str = "") -> str:
+    groups: Dict[Tuple[str, int], List[Fig9Cell]] = {}
+    for c in cells:
+        groups.setdefault((c.scope, c.seq), []).append(c)
+    parts = []
+    for (scope, seq), group in sorted(
+        groups.items(), key=lambda g: (g[0][1], g[0][0])
+    ):
+        names = sorted({c.dataflow_name for c in group})
+        buffers = sorted({c.buffer_bytes for c in group})
+        lookup = {(c.dataflow_name, c.buffer_bytes): c for c in group}
+        rows = []
+        for buf in buffers:
+            row: List[object] = [format_bytes(buf)]
+            for name in names:
+                cell = lookup.get((name, buf))
+                row.append(
+                    format_float(cell.normalized_energy) if cell else "-"
+                )
+            rows.append(row)
+        parts.append(
+            format_table(
+                ["Buffer"] + names,
+                rows,
+                title=(
+                    f"Figure 9 {platform} — normalized energy, "
+                    f"scope={scope}, N={seq}"
+                ),
+            )
+        )
+    return "\n\n".join(parts)

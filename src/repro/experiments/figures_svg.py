@@ -1,0 +1,119 @@
+"""SVG renderings of the scatter/line figures.
+
+Turns the Figure 8 sweeps, Figure 10 design space and Figure 12(b)
+bandwidth curves into standalone SVG files (no plotting dependency).
+The CLI exposes them via the ``svg`` experiment, writing into the
+current directory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.analysis.svg import ScatterChart, Series
+from repro.experiments import fig8, fig10, fig12
+from repro.ops.attention import Scope
+
+__all__ = ["fig8_chart", "fig10_chart", "fig12b_chart", "render_all"]
+
+KB = 1024
+_BUFFERS = tuple(
+    kb * KB for kb in (20, 64, 256, 1024, 4096, 16384, 65536, 262144,
+                       1024 * 1024, 2 * 1024 * 1024)
+)
+
+
+def fig8_chart(
+    platform: str = "edge", seq: int = 512, scope: Scope = Scope.LA
+) -> ScatterChart:
+    """Figure 8 as Util-vs-buffer polylines for one sub-plot."""
+    cells = fig8.run(
+        platform=platform, seqs=(seq,), scopes=(scope,),
+        buffer_sizes=_BUFFERS,
+    )
+    by_name: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+    for c in cells:
+        by_name[c.dataflow_name].append(
+            (c.buffer_bytes / 1024.0, c.utilization)
+        )
+    chart = ScatterChart(
+        title=f"Figure 8 ({platform}, N={seq}, {scope.value}): "
+              "Util vs on-chip buffer",
+        x_label="on-chip buffer (KB, log)",
+        y_label="compute utilization",
+        log_x=True,
+    )
+    for name in sorted(by_name):
+        chart.add(
+            Series(
+                name=name,
+                points=tuple(sorted(by_name[name])),
+                draw_line=True,
+            )
+        )
+    return chart
+
+
+def fig10_chart() -> ScatterChart:
+    """Figure 10 as the Util-vs-footprint scatter with granularity hues."""
+    points, _result = fig10.run(exhaustive_staging=True)
+    by_gran: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+    for p in points:
+        if p.footprint_bytes <= 0:
+            continue
+        by_gran[p.granularity].append(
+            (p.footprint_bytes / 1024.0, p.utilization)
+        )
+    chart = ScatterChart(
+        title="Figure 10: FLAT design space (BERT-512, edge)",
+        x_label="live memory footprint (KB, log)",
+        y_label="compute utilization",
+        log_x=True,
+    )
+    for gran in sorted(by_gran):
+        chart.add(Series(name=f"{gran}-Gran", points=tuple(by_gran[gran])))
+    return chart
+
+
+def fig12b_chart(seqs=(2048, 8192, 32768, 131072, 524288)) -> ScatterChart:
+    """Figure 12(b) as required-bandwidth curves (unreachable omitted)."""
+    rows = fig12.run_bw_requirement(seqs=seqs)
+    by_accel: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+    for r in rows:
+        if r.required_gbps is not None:
+            by_accel[r.accelerator].append((float(r.seq), r.required_gbps))
+    chart = ScatterChart(
+        title="Figure 12(b): off-chip BW for Util >= 0.95 (XLM, cloud)",
+        x_label="sequence length (log)",
+        y_label="required bandwidth (GB/s, log)",
+        log_x=True,
+        log_y=True,
+    )
+    for name in sorted(by_accel):
+        chart.add(
+            Series(
+                name=name,
+                points=tuple(sorted(by_accel[name])),
+                draw_line=True,
+            )
+        )
+    return chart
+
+
+def render_all(directory: str = ".") -> List[str]:
+    """Write all SVG figures into ``directory``; return the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    outputs = []
+    for filename, chart in (
+        ("fig8_edge_512.svg", fig8_chart("edge", 512)),
+        ("fig8_edge_64k.svg", fig8_chart("edge", 65536)),
+        ("fig10_design_space.svg", fig10_chart()),
+        ("fig12b_bandwidth.svg", fig12b_chart()),
+    ):
+        path = os.path.join(directory, filename)
+        chart.save(path)
+        outputs.append(path)
+    return outputs

@@ -1,0 +1,247 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each entry is a zero-argument callable returning the experiment's
+formatted report; the CLI and the benchmark harness both dispatch
+through this registry so there is exactly one definition of what each
+experiment runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ext_batch,
+    ext_decode,
+    ext_hierarchy,
+    ext_online,
+    ext_quant,
+    ext_scaleout,
+    ext_sparse,
+    ext_suite,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    iso_area,
+    summary,
+    table1,
+    table2,
+)
+from repro.ops.attention import Scope
+
+__all__ = ["EXPERIMENTS", "RAW_EXPERIMENTS", "run_experiment",
+           "run_experiment_raw", "experiment_names"]
+
+# Reduced sweep parameters keep every registry entry under ~1 minute;
+# the underlying run() functions accept the paper's full grids.
+_QUICK_BUFFERS = tuple(
+    kb * 1024 for kb in (20, 128, 512, 4096, 65536, 2 * 1024 * 1024)
+)
+
+
+def _table1() -> str:
+    return table1.format_report(table1.run())
+
+
+def _table2() -> str:
+    return table2.format_report(table2.run())
+
+
+def _fig2() -> str:
+    return fig2.format_report(fig2.run())
+
+
+def _fig8_edge() -> str:
+    cells = fig8.run(
+        platform="edge", seqs=(512, 65536), scopes=(Scope.LA, Scope.BLOCK),
+        buffer_sizes=_QUICK_BUFFERS,
+    )
+    return fig8.format_report(cells, platform="edge/BERT")
+
+
+def _fig8_cloud() -> str:
+    cells = fig8.run(
+        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA, Scope.BLOCK),
+        buffer_sizes=_QUICK_BUFFERS,
+    )
+    return fig8.format_report(cells, platform="cloud/XLM")
+
+
+def _fig9_edge() -> str:
+    cells = fig9.run(
+        platform="edge", seqs=(512, 65536), scopes=(Scope.LA,),
+        buffer_sizes=_QUICK_BUFFERS,
+    )
+    return fig9.format_report(cells, platform="edge/BERT")
+
+
+def _fig9_cloud() -> str:
+    cells = fig9.run(
+        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA,),
+        buffer_sizes=_QUICK_BUFFERS,
+    )
+    return fig9.format_report(cells, platform="cloud/XLM")
+
+
+def _fig10() -> str:
+    points, result = fig10.run()
+    return fig10.format_report(points, result)
+
+
+def _fig11_edge() -> str:
+    return fig11.format_report(fig11.run(platform="edge"))
+
+
+def _fig11_cloud() -> str:
+    return fig11.format_report(fig11.run(platform="cloud"))
+
+
+def _fig12a() -> str:
+    rows = fig12.run_speedup_grid()
+    return fig12.format_speedup_report(rows)
+
+
+def _fig12b() -> str:
+    rows = fig12.run_bw_requirement(
+        seqs=(2048, 8192, 32768, 131072, 524288)
+    )
+    return fig12.format_bw_report(rows)
+
+
+def _iso_area() -> str:
+    return iso_area.format_report(iso_area.run())
+
+
+def _summary() -> str:
+    return summary.format_report(summary.run())
+
+
+def _ext_online() -> str:
+    return ext_online.format_report(ext_online.run())
+
+
+def _ext_sparse() -> str:
+    return ext_sparse.format_report(ext_sparse.run())
+
+
+def _ext_suite() -> str:
+    return ext_suite.format_report(ext_suite.run())
+
+
+def _ext_decode() -> str:
+    return ext_decode.format_report(ext_decode.run())
+
+
+def _ext_scaleout() -> str:
+    return ext_scaleout.format_report(ext_scaleout.run())
+
+
+def _ext_quant() -> str:
+    return ext_quant.format_report(ext_quant.run())
+
+
+def _ext_batch() -> str:
+    return ext_batch.format_report(ext_batch.run())
+
+
+def _ext_hierarchy() -> str:
+    return ext_hierarchy.format_report(ext_hierarchy.run())
+
+
+# Raw-row producers for JSON export (same reduced grids as the text
+# registry).  Not every artifact has a flat row list (fig2 returns a
+# composite report object; to_jsonable handles it anyway).
+RAW_EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2.run,
+    "fig8-edge": lambda: fig8.run(
+        platform="edge", seqs=(512, 65536), scopes=(Scope.LA, Scope.BLOCK),
+        buffer_sizes=_QUICK_BUFFERS,
+    ),
+    "fig8-cloud": lambda: fig8.run(
+        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA, Scope.BLOCK),
+        buffer_sizes=_QUICK_BUFFERS,
+    ),
+    "fig9-edge": lambda: fig9.run(
+        platform="edge", seqs=(512, 65536), scopes=(Scope.LA,),
+        buffer_sizes=_QUICK_BUFFERS,
+    ),
+    "fig9-cloud": lambda: fig9.run(
+        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA,),
+        buffer_sizes=_QUICK_BUFFERS,
+    ),
+    "fig10": lambda: fig10.run()[0],
+    "fig11-edge": lambda: fig11.run(platform="edge"),
+    "fig11-cloud": lambda: fig11.run(platform="cloud"),
+    "fig12a": fig12.run_speedup_grid,
+    "fig12b": lambda: fig12.run_bw_requirement(
+        seqs=(2048, 8192, 32768, 131072, 524288)
+    ),
+    "iso-area": iso_area.run,
+    "ext-online": ext_online.run,
+    "ext-sparse": ext_sparse.run,
+    "ext-suite": ext_suite.run,
+    "ext-decode": ext_decode.run,
+    "ext-scaleout": ext_scaleout.run,
+    "ext-quant": ext_quant.run,
+    "ext-batch": ext_batch.run,
+    "ext-hierarchy": ext_hierarchy.run,
+    "summary": summary.run,
+}
+
+
+def run_experiment_raw(name: str) -> object:
+    """Run one experiment and return its typed rows (for JSON export)."""
+    try:
+        runner = RAW_EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"no raw rows for {name!r}; choose from "
+            f"{sorted(RAW_EXPERIMENTS)}"
+        ) from None
+    return runner()
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig2": _fig2,
+    "fig8-edge": _fig8_edge,
+    "fig8-cloud": _fig8_cloud,
+    "fig9-edge": _fig9_edge,
+    "fig9-cloud": _fig9_cloud,
+    "fig10": _fig10,
+    "fig11-edge": _fig11_edge,
+    "fig11-cloud": _fig11_cloud,
+    "fig12a": _fig12a,
+    "fig12b": _fig12b,
+    "iso-area": _iso_area,
+    "ext-online": _ext_online,
+    "ext-sparse": _ext_sparse,
+    "ext-suite": _ext_suite,
+    "ext-decode": _ext_decode,
+    "ext-scaleout": _ext_scaleout,
+    "ext-quant": _ext_quant,
+    "ext-batch": _ext_batch,
+    "ext-hierarchy": _ext_hierarchy,
+    "summary": _summary,
+}
+
+
+def experiment_names() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> str:
+    """Run one registered experiment and return its report."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {experiment_names()}"
+        ) from None
+    return runner()

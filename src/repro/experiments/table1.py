@@ -1,0 +1,77 @@
+"""Table 1: on-chip buffer requirement to stage weights and activations.
+
+The paper's Table 1 contrasts the staging footprint of the K/Q/V/O
+projections (independent of head count, linear in N) with the L/A pair
+(quadratic in N, linear in heads), at D = 1024 and 16-bit data:
+
+========  ====  =====  =====  ======  ======  =======
+          H=1   H=16   H=1    H=16    H=1     H=16
+          N=512 N=512  N=2K   N=2K    N=14K   N=14K
+K/Q/V/O   4MB   4MB    10MB   10MB    ~60MB   ~60MB
+L/A       2.5MB 10MB   16MB   136MB   ~450MB  ~6.4GB
+========  ====  =====  =====  ======  ======  =======
+
+(The paper's exact cells differ by a few percent where it includes the
+V tensor in some columns; our formula is stated in
+:func:`repro.ops.intensity.la_staging_bytes`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.reports import format_bytes, format_table
+from repro.ops.attention import AttentionConfig
+from repro.ops.intensity import la_staging_bytes, qkvo_staging_bytes
+
+__all__ = ["Table1Row", "run", "format_report", "PAPER_GRID"]
+
+# (heads, seq) columns of the paper's table; D fixed at 1024.
+PAPER_GRID: Tuple[Tuple[int, int], ...] = (
+    (1, 512), (16, 512), (1, 2048), (16, 2048), (1, 14336), (16, 14336),
+)
+_D_MODEL = 1024
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of Table 1 (we report columns as rows)."""
+
+    heads: int
+    seq: int
+    qkvo_bytes: int
+    la_bytes: int
+
+
+def run(grid: Tuple[Tuple[int, int], ...] = PAPER_GRID) -> List[Table1Row]:
+    """Compute the staging requirements over the (H, N) grid."""
+    rows = []
+    for heads, seq in grid:
+        cfg = AttentionConfig(
+            name="table1", batch=1, heads=heads, d_model=_D_MODEL,
+            seq_q=seq, seq_kv=seq, d_ff=4 * _D_MODEL,
+        )
+        rows.append(
+            Table1Row(
+                heads=heads,
+                seq=seq,
+                qkvo_bytes=qkvo_staging_bytes(cfg),
+                la_bytes=la_staging_bytes(cfg),
+            )
+        )
+    return rows
+
+
+def format_report(rows: List[Table1Row]) -> str:
+    """Render the table in the paper's layout."""
+    return format_table(
+        ["H", "N", "K/Q/V/O buf req", "L/A buf req"],
+        [
+            (r.heads, r.seq, format_bytes(r.qkvo_bytes),
+             format_bytes(r.la_bytes))
+            for r in rows
+        ],
+        title="Table 1: buffer requirement to stage tensors on-chip "
+              f"(D={_D_MODEL}, 16-bit)",
+    )

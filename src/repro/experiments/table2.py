@@ -1,0 +1,104 @@
+"""Table 2: live memory footprint per tiling granularity.
+
+Evaluates the four closed forms (M/B/H/R) numerically and cross-checks
+each against the per-tensor breakdown of
+:func:`repro.core.footprint.fused_la_footprint` — the closed form and
+the breakdown must agree exactly, which the test suite also enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.reports import format_bytes, format_table
+from repro.core.dataflow import Granularity, flat_r, flat_x
+from repro.core.footprint import (
+    footprint_b_gran,
+    footprint_h_gran,
+    footprint_m_gran,
+    footprint_r_gran,
+    fused_la_footprint,
+)
+from repro.ops.attention import AttentionConfig
+
+__all__ = ["Table2Row", "run", "format_report"]
+
+_BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One granularity's footprint: closed form vs breakdown."""
+
+    granularity: str
+    formula: str
+    closed_form_elements: int
+    breakdown_elements: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.closed_form_elements == self.breakdown_elements
+
+
+def run(
+    batch: int = 64,
+    heads: int = 16,
+    seq: int = 2048,
+    d_model: int = 1024,
+    rows: int = 64,
+) -> List[Table2Row]:
+    """Evaluate Table 2 at one workload point (defaults match Table 1)."""
+    cfg = AttentionConfig(
+        name="table2", batch=batch, heads=heads, d_model=d_model,
+        seq_q=seq, seq_kv=seq, d_ff=4 * d_model,
+    )
+    dk = cfg.d_head
+    entries = [
+        (
+            "M-Gran", "8*B*D*N + B*H*N^2",
+            footprint_m_gran(batch, heads, seq, d_model),
+            flat_x(Granularity.M),
+        ),
+        (
+            "B-Gran", "8*D*N + H*N^2",
+            footprint_b_gran(heads, seq, d_model),
+            flat_x(Granularity.B),
+        ),
+        (
+            "H-Gran", "8*N*dk + N^2",
+            footprint_h_gran(seq, dk),
+            flat_x(Granularity.H),
+        ),
+        (
+            "R-Gran", "4*R*dk + 4*N*dk + R*N",
+            footprint_r_gran(rows, seq, dk),
+            flat_r(rows),
+        ),
+    ]
+    out = []
+    for name, formula, closed, dataflow in entries:
+        breakdown = fused_la_footprint(cfg, dataflow).total_elements
+        out.append(
+            Table2Row(
+                granularity=name,
+                formula=formula,
+                closed_form_elements=closed,
+                breakdown_elements=breakdown,
+            )
+        )
+    return out
+
+
+def format_report(rows: List[Table2Row]) -> str:
+    return format_table(
+        ["Granularity", "Live footprint formula", "Bytes (16-bit)",
+         "Matches breakdown"],
+        [
+            (r.granularity, r.formula,
+             format_bytes(r.closed_form_elements * _BYTES_PER_ELEMENT),
+             "yes" if r.consistent else "NO")
+            for r in rows
+        ],
+        title="Table 2: live memory footprint per tiling granularity",
+    )

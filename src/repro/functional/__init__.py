@@ -1,0 +1,35 @@
+"""Numerical attention substrate.
+
+Provides the NumPy semantics the dataflows must preserve: a reference
+(unfused) multi-head attention, FLAT-style fused execution at every
+granularity with traffic accounting, and a streaming-softmax extension.
+The test suite uses this package to prove the FLAT schedule is exact.
+"""
+
+from repro.functional.fused import (
+    FusedResult,
+    TrafficCounter,
+    baseline_attention_traffic,
+    flat_attention,
+    flat_attention_online,
+)
+from repro.functional.reference import (
+    AttentionInputs,
+    reference_attention,
+    reference_logits,
+)
+from repro.functional.softmax import OnlineSoftmaxState, row_block_softmax, softmax
+
+__all__ = [
+    "FusedResult",
+    "TrafficCounter",
+    "baseline_attention_traffic",
+    "flat_attention",
+    "flat_attention_online",
+    "AttentionInputs",
+    "reference_attention",
+    "reference_logits",
+    "OnlineSoftmaxState",
+    "row_block_softmax",
+    "softmax",
+]

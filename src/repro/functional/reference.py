@@ -1,0 +1,118 @@
+"""Reference (unfused) multi-head attention in NumPy.
+
+This is the semantics both executions must agree on: the baseline
+dataflow materializes the full ``[B, H, Nq, Nkv]`` logit tensor, applies
+softmax, then runs Attend — exactly what this module does.  The fused
+executors in :mod:`repro.functional.fused` must match it element-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.functional.softmax import softmax
+
+__all__ = ["AttentionInputs", "reference_attention", "reference_logits"]
+
+
+@dataclass(frozen=True)
+class AttentionInputs:
+    """Q/K/V activations for one multi-head attention layer.
+
+    Shapes: ``q[B, H, Nq, d]``, ``k[B, H, Nkv, d]``, ``v[B, H, Nkv, d]``,
+    optional additive mask broadcastable to ``[B, H, Nq, Nkv]`` (use
+    ``-inf`` to forbid a position).
+    """
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    mask: Optional[np.ndarray] = None
+    scale: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for label, t in (("q", self.q), ("k", self.k), ("v", self.v)):
+            if t.ndim != 4:
+                raise ValueError(f"{label} must be [B, H, N, d], got {t.shape}")
+        b, h, _, d = self.q.shape
+        if self.k.shape[:2] != (b, h) or self.v.shape[:2] != (b, h):
+            raise ValueError("q/k/v batch and head dims must agree")
+        if self.k.shape[3] != d:
+            raise ValueError("q and k head dims must agree")
+        if self.v.shape[2] != self.k.shape[2]:
+            raise ValueError("k and v sequence lengths must agree")
+
+    @property
+    def batch(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def heads(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def seq_q(self) -> int:
+        return self.q.shape[2]
+
+    @property
+    def seq_kv(self) -> int:
+        return self.k.shape[2]
+
+    @property
+    def d_head(self) -> int:
+        return self.q.shape[3]
+
+    @property
+    def effective_scale(self) -> float:
+        """Logit scale; defaults to the standard ``1/sqrt(d)``."""
+        return self.scale if self.scale is not None else 1.0 / np.sqrt(self.d_head)
+
+    @staticmethod
+    def random(
+        batch: int,
+        heads: int,
+        seq_q: int,
+        seq_kv: int,
+        d_head: int,
+        seed: int = 0,
+        causal_mask: bool = False,
+    ) -> "AttentionInputs":
+        """Random inputs for tests and examples (fixed seed, float64)."""
+        rng = np.random.default_rng(seed)
+        shape_q = (batch, heads, seq_q, d_head)
+        shape_kv = (batch, heads, seq_kv, d_head)
+        mask = None
+        if causal_mask:
+            if seq_q != seq_kv:
+                raise ValueError("causal mask requires seq_q == seq_kv")
+            mask = np.where(
+                np.tril(np.ones((seq_q, seq_kv), dtype=bool)), 0.0, -np.inf
+            )[None, None]
+        return AttentionInputs(
+            q=rng.standard_normal(shape_q),
+            k=rng.standard_normal(shape_kv),
+            v=rng.standard_normal(shape_kv),
+            mask=mask,
+        )
+
+
+def reference_logits(inputs: AttentionInputs) -> np.ndarray:
+    """The full (masked, scaled) logit tensor ``[B, H, Nq, Nkv]``."""
+    logits = (
+        np.einsum("bhqd,bhkd->bhqk", inputs.q, inputs.k) * inputs.effective_scale
+    )
+    if inputs.mask is not None:
+        logits = logits + inputs.mask
+    return logits
+
+
+def reference_attention(inputs: AttentionInputs) -> np.ndarray:
+    """Unfused attention: materialize logits, softmax, attend.
+
+    Returns the attended tensor ``[B, H, Nq, d]``.
+    """
+    probs = softmax(reference_logits(inputs), axis=-1)
+    return np.einsum("bhqk,bhkd->bhqd", probs, inputs.v)

@@ -1,0 +1,100 @@
+"""Softmax kernels used by the functional attention substrate.
+
+Three formulations:
+
+* :func:`softmax` — the numerically stable reference (max-subtract,
+  exp, normalize) applied along the last axis.
+* :func:`row_block_softmax` — softmax over complete rows, the basic
+  execution unit of FLAT's row granularity (section 4.2.1): the
+  reduction runs along the key dimension, so a ``[R, N]`` block of
+  complete rows can be softmaxed independently and exactly.
+* :class:`OnlineSoftmaxState` — the streaming (online) formulation that
+  additionally tiles the *key* dimension.  This goes beyond the paper
+  (FLAT keeps rows whole); we implement it as the documented extension
+  and show in tests that it matches the reference, which would let a
+  FLAT-like dataflow drop the full-row constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["softmax", "row_block_softmax", "OnlineSoftmaxState"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def row_block_softmax(block: np.ndarray) -> np.ndarray:
+    """Softmax a ``[R, N]`` block of complete logit rows.
+
+    Each row is a full softmax reduction unit; because the rows are
+    complete, the result is bit-identical to slicing the same rows out
+    of a full-tensor softmax — the property FLAT's legality argument
+    rests on (tested in ``tests/functional``).
+    """
+    if block.ndim != 2:
+        raise ValueError(f"expected a [R, N] block, got shape {block.shape}")
+    return softmax(block, axis=-1)
+
+
+@dataclass
+class OnlineSoftmaxState:
+    """Streaming softmax over key-dimension tiles (extension).
+
+    Maintains, per query row, the running max ``m``, the running
+    normalizer ``l`` and the running weighted output accumulator.  After
+    all key tiles have been consumed, ``output()`` equals
+    ``softmax(logits) @ v`` exactly (up to float rounding).
+
+    This is the rescaling trick used by later fused-attention kernels;
+    FLAT itself avoids needing it by keeping rows whole, at the cost of
+    an O(R*N) intermediate tile.
+    """
+
+    rows: int
+    d_head: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.d_head <= 0:
+            raise ValueError("rows and d_head must be positive")
+        self._m = np.full(self.rows, -np.inf, dtype=np.float64)
+        self._l = np.zeros(self.rows, dtype=np.float64)
+        self._acc = np.zeros((self.rows, self.d_head), dtype=np.float64)
+
+    def update(self, logit_tile: np.ndarray, v_tile: np.ndarray) -> None:
+        """Consume one ``[R, Nc]`` logit tile and its ``[Nc, d]`` V tile."""
+        if logit_tile.shape[0] != self.rows:
+            raise ValueError(
+                f"logit tile has {logit_tile.shape[0]} rows, expected {self.rows}"
+            )
+        if logit_tile.shape[1] != v_tile.shape[0]:
+            raise ValueError("logit tile columns must match V tile rows")
+        if v_tile.shape[1] != self.d_head:
+            raise ValueError(
+                f"V tile has d={v_tile.shape[1]}, expected {self.d_head}"
+            )
+        tile_max = np.max(logit_tile, axis=1)
+        new_m = np.maximum(self._m, tile_max)
+        # Rescale previous accumulator and normalizer to the new max.
+        scale = np.exp(self._m - new_m)
+        # Rows never updated before have m = -inf and l = acc = 0; the
+        # resulting exp(-inf) = 0 scale is harmless (0 * 0).
+        scale = np.where(np.isfinite(scale), scale, 0.0)
+        probs = np.exp(logit_tile - new_m[:, None])
+        self._l = self._l * scale + probs.sum(axis=1)
+        self._acc = self._acc * scale[:, None] + probs @ v_tile
+        self._m = new_m
+
+    def output(self) -> np.ndarray:
+        """Finalize: the attended rows ``softmax(logits) @ V``."""
+        if np.any(self._l <= 0):
+            raise RuntimeError("output() called before any update()")
+        return self._acc / self._l[:, None]

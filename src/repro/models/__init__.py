@@ -1,0 +1,29 @@
+"""Model zoo for the paper's evaluation workloads."""
+
+from repro.models.lra import (
+    INTRO_APPLICATIONS,
+    LRA_TASKS,
+    intro_application_config,
+    lra_config,
+)
+from repro.models.configs import (
+    MODEL_ZOO,
+    PAPER_BATCH,
+    PAPER_SEQ_LENGTHS,
+    ModelSpec,
+    model_config,
+    model_names,
+)
+
+__all__ = [
+    "INTRO_APPLICATIONS",
+    "LRA_TASKS",
+    "intro_application_config",
+    "lra_config",
+    "MODEL_ZOO",
+    "PAPER_BATCH",
+    "PAPER_SEQ_LENGTHS",
+    "ModelSpec",
+    "model_config",
+    "model_names",
+]

@@ -1,0 +1,95 @@
+"""Model zoo: the five attention-based models of the evaluation (§6.1).
+
+Hyper-parameters follow the published checkpoints the paper cites:
+
+=============  =========  ======  =======  ======  ========
+Model          Checkpoint  D       Heads    d_ff    Blocks
+=============  =========  ======  =======  ======  ========
+BERT           bert-base   768     12       3072    12
+FlauBERT       base-cased  768     12       3072    12
+XLM            xlm-mlm-en  2048    16       8192    12
+TransformerXL  wt103       1024    16       4096    18
+T5             t5-small    512     8        2048    12
+=============  =========  ======  =======  ======  ========
+
+The paper sweeps the sequence length from 512 to 256K (future-proofing)
+and fixes the batch size at 64; :func:`model_config` takes both as
+arguments so the sweeps stay explicit at the call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ops.attention import AttentionConfig
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_ZOO",
+    "model_config",
+    "model_names",
+    "PAPER_BATCH",
+    "PAPER_SEQ_LENGTHS",
+]
+
+PAPER_BATCH = 64
+PAPER_SEQ_LENGTHS: Tuple[int, ...] = (512, 4 * 1024, 16 * 1024, 64 * 1024,
+                                      256 * 1024)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture hyper-parameters of one model family."""
+
+    name: str
+    d_model: int
+    heads: int
+    d_ff: int
+    num_blocks: int
+
+    def config(self, seq: int, batch: int = PAPER_BATCH) -> AttentionConfig:
+        """Instantiate an :class:`AttentionConfig` at a sequence length."""
+        if seq <= 0:
+            raise ValueError("sequence length must be positive")
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        return AttentionConfig(
+            name=self.name,
+            batch=batch,
+            heads=self.heads,
+            d_model=self.d_model,
+            seq_q=seq,
+            seq_kv=seq,
+            d_ff=self.d_ff,
+            num_blocks=self.num_blocks,
+        )
+
+
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    "bert": ModelSpec("bert", d_model=768, heads=12, d_ff=3072, num_blocks=12),
+    "flaubert": ModelSpec(
+        "flaubert", d_model=768, heads=12, d_ff=3072, num_blocks=12
+    ),
+    "xlm": ModelSpec("xlm", d_model=2048, heads=16, d_ff=8192, num_blocks=12),
+    "trxl": ModelSpec("trxl", d_model=1024, heads=16, d_ff=4096, num_blocks=18),
+    "t5": ModelSpec("t5", d_model=512, heads=8, d_ff=2048, num_blocks=12),
+}
+
+
+def model_names() -> Tuple[str, ...]:
+    """Zoo model identifiers in the paper's reporting order."""
+    return ("bert", "trxl", "flaubert", "t5", "xlm")
+
+
+def model_config(
+    name: str, seq: int, batch: int = PAPER_BATCH
+) -> AttentionConfig:
+    """Build a workload config for a zoo model at a sequence length."""
+    try:
+        spec = MODEL_ZOO[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_ZOO)}"
+        ) from None
+    return spec.config(seq=seq, batch=batch)

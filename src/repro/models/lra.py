@@ -1,0 +1,97 @@
+"""Long Range Arena-style workload suite.
+
+The paper cites the Long Range Arena benchmark [Tay et al.] as
+"testament to the importance and surging interest ... for long-sequence
+attention-based models".  This module provides the LRA task
+configurations (standard vanilla-Transformer settings for the suite) as
+ready-made workloads, plus the long-sequence applications the paper's
+introduction enumerates — image generation at 12K, summarization at
+64K, language modeling at 69K, music at 1M — for the scaling studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ops.attention import AttentionConfig
+
+__all__ = ["LRA_TASKS", "INTRO_APPLICATIONS", "lra_config",
+           "intro_application_config"]
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    seq: int
+    d_model: int
+    heads: int
+    d_ff: int
+    num_blocks: int
+
+
+# The vanilla-Transformer settings of the LRA suite's tasks.
+LRA_TASKS: Dict[str, _TaskSpec] = {
+    "listops": _TaskSpec(seq=2048, d_model=512, heads=8, d_ff=2048,
+                         num_blocks=6),
+    "text": _TaskSpec(seq=4096, d_model=256, heads=4, d_ff=1024,
+                      num_blocks=4),
+    "retrieval": _TaskSpec(seq=4096, d_model=128, heads=4, d_ff=512,
+                           num_blocks=4),
+    "image": _TaskSpec(seq=1024, d_model=64, heads=8, d_ff=128,
+                       num_blocks=3),
+    "pathfinder": _TaskSpec(seq=1024, d_model=128, heads=8, d_ff=128,
+                            num_blocks=4),
+}
+
+# The long-sequence applications of the paper's introduction, as
+# (sequence length, representative backbone) pairs.
+INTRO_APPLICATIONS: Dict[str, Tuple[int, str]] = {
+    "image-generation": (12 * 1024, "trxl"),
+    "summarization": (64 * 1024, "bert"),
+    "language-modeling": (69 * 1024, "trxl"),
+    "music": (1024 * 1024, "t5"),
+}
+
+
+def lra_config(task: str, batch: int = 64) -> AttentionConfig:
+    """Workload config for one LRA task."""
+    try:
+        spec = LRA_TASKS[task]
+    except KeyError:
+        raise ValueError(
+            f"unknown LRA task {task!r}; choose from {sorted(LRA_TASKS)}"
+        ) from None
+    return AttentionConfig(
+        name=f"lra-{task}",
+        batch=batch,
+        heads=spec.heads,
+        d_model=spec.d_model,
+        seq_q=spec.seq,
+        seq_kv=spec.seq,
+        d_ff=spec.d_ff,
+        num_blocks=spec.num_blocks,
+    )
+
+
+def intro_application_config(name: str, batch: int = 64) -> AttentionConfig:
+    """Workload config for one of the introduction's applications."""
+    from repro.models.configs import model_config
+
+    try:
+        seq, backbone = INTRO_APPLICATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from "
+            f"{sorted(INTRO_APPLICATIONS)}"
+        ) from None
+    cfg = model_config(backbone, seq=seq, batch=batch)
+    return AttentionConfig(
+        name=f"{name}({backbone})",
+        batch=cfg.batch,
+        heads=cfg.heads,
+        d_model=cfg.d_model,
+        seq_q=cfg.seq_q,
+        seq_kv=cfg.seq_kv,
+        d_ff=cfg.d_ff,
+        num_blocks=cfg.num_blocks,
+    )

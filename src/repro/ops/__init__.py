@@ -1,0 +1,51 @@
+"""Operator IR and workload characterization for attention models.
+
+This package is the workload half of the reproduction: tensor and GEMM
+operator specifications (:mod:`repro.ops.tensor`,
+:mod:`repro.ops.operator`), attention layer/block/model builders
+(:mod:`repro.ops.attention`), the block dependency graph and FLAT's
+fusion-legality rule (:mod:`repro.ops.graph`), and the operational
+intensity math of paper section 2.2 (:mod:`repro.ops.intensity`).
+"""
+
+from repro.ops.attention import (
+    AttentionConfig,
+    Scope,
+    build_attention_block,
+    build_attention_layer,
+    build_model,
+    operators_for_scope,
+)
+from repro.ops.graph import OperatorGraph, check_fusion_legality
+from repro.ops.intensity import (
+    IntensityReport,
+    la_staging_bytes,
+    logit_attend_intensity,
+    projection_intensity,
+    qkvo_staging_bytes,
+)
+from repro.ops.operator import GemmOperator, OperatorKind
+from repro.ops.sparse import SparsePatternKind, SparsityPattern
+from repro.ops.tensor import TensorRole, TensorSpec
+
+__all__ = [
+    "AttentionConfig",
+    "Scope",
+    "build_attention_block",
+    "build_attention_layer",
+    "build_model",
+    "operators_for_scope",
+    "OperatorGraph",
+    "check_fusion_legality",
+    "IntensityReport",
+    "la_staging_bytes",
+    "logit_attend_intensity",
+    "projection_intensity",
+    "qkvo_staging_bytes",
+    "GemmOperator",
+    "OperatorKind",
+    "SparsePatternKind",
+    "SparsityPattern",
+    "TensorRole",
+    "TensorSpec",
+]

@@ -1,0 +1,251 @@
+"""GEMM operator IR for attention models.
+
+Every operator the paper discusses — Q, K, V projections, Logit, Attend,
+the output projection and the two feed-forward layers — is a batched GEMM.
+:class:`GemmOperator` captures one such operator: its per-instance GEMM
+dimensions ``(m, k, n)``, the number of independent instances (batch x
+heads), and whether it is an *activation-weight* or an
+*activation-activation* operator.  That last bit is the crux of the paper:
+activation-activation operators (Logit and Attend) cannot amortize traffic
+over the batch and their intermediate tensor grows as O(N^2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ops.tensor import TensorRole, TensorSpec
+
+__all__ = ["OperatorKind", "GemmOperator"]
+
+
+class OperatorKind(enum.Enum):
+    """The operators of an attention block (paper Figure 1).
+
+    ``QUERY``/``KEY``/``VALUE``/``OUTPUT`` are activation-weight
+    projections; ``LOGIT`` and ``ATTEND`` are the activation-activation
+    pair that FLAT fuses; ``FFN_UP``/``FFN_DOWN`` are the two fully
+    connected layers that complete an attention block.
+    """
+
+    QUERY = "Q"
+    KEY = "K"
+    VALUE = "V"
+    LOGIT = "L"
+    ATTEND = "A"
+    OUTPUT = "O"
+    FFN_UP = "F1"
+    FFN_DOWN = "F2"
+
+    @property
+    def is_activation_activation(self) -> bool:
+        """True for the L and A operators (both GEMM inputs are activations)."""
+        return self in (OperatorKind.LOGIT, OperatorKind.ATTEND)
+
+    @property
+    def is_projection(self) -> bool:
+        """True for the K/Q/V/O projections inside the attention layer."""
+        return self in (
+            OperatorKind.QUERY,
+            OperatorKind.KEY,
+            OperatorKind.VALUE,
+            OperatorKind.OUTPUT,
+        )
+
+    @property
+    def is_ffn(self) -> bool:
+        """True for the two FC operators outside the attention layer."""
+        return self in (OperatorKind.FFN_UP, OperatorKind.FFN_DOWN)
+
+
+@dataclass(frozen=True)
+class GemmOperator:
+    """One batched GEMM operator: ``out[m,n] = lhs[m,k] @ rhs[k,n]``.
+
+    Parameters
+    ----------
+    kind:
+        Which of the eight attention-block operators this is.
+    name:
+        Qualified name for reports (e.g. ``"bert.logit"``).
+    m, k, n:
+        Per-instance GEMM dimensions.  For the Logit operator of a
+        self-attention layer these are ``(N, d_head, N)``.
+    instances:
+        Number of independent GEMM instances executed — ``B`` for
+        projections and FFNs (the head dimension is folded into ``n``),
+        ``B * H`` for Logit/Attend.
+    lhs, rhs, out:
+        Tensor specs covering *all* instances, used for footprint and
+        traffic math.
+
+    Notes
+    -----
+    ``flops`` counts multiply *and* add (2 per MAC), matching the
+    convention used in rooflines; ``macs`` counts multiply-accumulate
+    pairs, matching PE-array occupancy.
+    """
+
+    kind: OperatorKind
+    name: str
+    m: int
+    k: int
+    n: int
+    instances: int
+    lhs: TensorSpec
+    rhs: TensorSpec
+    out: TensorSpec
+    softmax_after: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        for label, value in (("m", self.m), ("k", self.k), ("n", self.n)):
+            if value <= 0:
+                raise ValueError(f"{self.name}: GEMM dim {label}={value} must be > 0")
+        if self.instances <= 0:
+            raise ValueError(f"{self.name}: instances must be > 0")
+        expected = {
+            "lhs": self.instances * self.m * self.k,
+            "rhs_weight": self.k * self.n,
+            "rhs_act": self.instances * self.k * self.n,
+            "out": self.instances * self.m * self.n,
+        }
+        if self.lhs.num_elements != expected["lhs"]:
+            raise ValueError(
+                f"{self.name}: lhs has {self.lhs.num_elements} elements, "
+                f"expected {expected['lhs']}"
+            )
+        rhs_expected = (
+            expected["rhs_weight"] if self.rhs.role.is_weight else expected["rhs_act"]
+        )
+        if self.rhs.num_elements != rhs_expected:
+            raise ValueError(
+                f"{self.name}: rhs has {self.rhs.num_elements} elements, "
+                f"expected {rhs_expected}"
+            )
+        if self.out.num_elements != expected["out"]:
+            raise ValueError(
+                f"{self.name}: out has {self.out.num_elements} elements, "
+                f"expected {expected['out']}"
+            )
+
+    # ------------------------------------------------------------------
+    # arithmetic counts
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations across all instances."""
+        return self.instances * self.m * self.k * self.n
+
+    @property
+    def flops(self) -> int:
+        """Total floating point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def is_activation_activation(self) -> bool:
+        return self.kind.is_activation_activation
+
+    # ------------------------------------------------------------------
+    # minimal memory traffic (each tensor touched exactly once)
+    # ------------------------------------------------------------------
+    def min_traffic_elements(self) -> int:
+        """Element count of the compulsory (cold) memory traffic.
+
+        This is the denominator of the operational intensity: each of
+        lhs, rhs and out moved exactly once.  Real dataflows add reuse
+        passes on top; see :mod:`repro.core.perf`.
+        """
+        return self.lhs.num_elements + self.rhs.num_elements + self.out.num_elements
+
+    def min_traffic_bytes(self, bytes_per_element: int = 2) -> int:
+        return self.min_traffic_elements() * bytes_per_element
+
+    def operational_intensity(self) -> float:
+        """Operations per memory access (paper equation 1).
+
+        Uses FLOPs over elements moved, assuming compulsory traffic only.
+        """
+        return self.flops / self.min_traffic_elements()
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def projection(
+        kind: OperatorKind,
+        name: str,
+        batch: int,
+        seq: int,
+        d_in: int,
+        d_out: int,
+    ) -> "GemmOperator":
+        """Build an activation-weight projection (Q/K/V/O or FFN).
+
+        ``out[B, seq, d_out] = act[B, seq, d_in] @ W[d_in, d_out]``.
+        """
+        return GemmOperator(
+            kind=kind,
+            name=name,
+            m=seq,
+            k=d_in,
+            n=d_out,
+            instances=batch,
+            lhs=TensorSpec(f"{name}.in", (batch, seq, d_in), TensorRole.ACTIVATION),
+            rhs=TensorSpec(f"{name}.weight", (d_in, d_out), TensorRole.WEIGHT),
+            out=TensorSpec(f"{name}.out", (batch, seq, d_out), TensorRole.ACTIVATION),
+        )
+
+    @staticmethod
+    def logit(
+        name: str, batch: int, heads: int, seq_q: int, seq_kv: int, d_head: int
+    ) -> "GemmOperator":
+        """Build the Logit operator ``L[b,h] = Q[b,h] @ K[b,h]^T``.
+
+        Per-instance GEMM is ``(seq_q, d_head, seq_kv)``; there are
+        ``batch * heads`` instances.  Softmax follows (``softmax_after``).
+        """
+        return GemmOperator(
+            kind=OperatorKind.LOGIT,
+            name=name,
+            m=seq_q,
+            k=d_head,
+            n=seq_kv,
+            instances=batch * heads,
+            lhs=TensorSpec(
+                f"{name}.q", (batch, heads, seq_q, d_head), TensorRole.ACTIVATION
+            ),
+            rhs=TensorSpec(
+                f"{name}.k", (batch, heads, d_head, seq_kv), TensorRole.ACTIVATION
+            ),
+            out=TensorSpec(
+                f"{name}.logits", (batch, heads, seq_q, seq_kv), TensorRole.ACTIVATION
+            ),
+            softmax_after=True,
+        )
+
+    @staticmethod
+    def attend(
+        name: str, batch: int, heads: int, seq_q: int, seq_kv: int, d_head: int
+    ) -> "GemmOperator":
+        """Build the Attend operator ``out[b,h] = softmax(L[b,h]) @ V[b,h]``.
+
+        Per-instance GEMM is ``(seq_q, seq_kv, d_head)``.
+        """
+        return GemmOperator(
+            kind=OperatorKind.ATTEND,
+            name=name,
+            m=seq_q,
+            k=seq_kv,
+            n=d_head,
+            instances=batch * heads,
+            lhs=TensorSpec(
+                f"{name}.probs", (batch, heads, seq_q, seq_kv), TensorRole.ACTIVATION
+            ),
+            rhs=TensorSpec(
+                f"{name}.v", (batch, heads, seq_kv, d_head), TensorRole.ACTIVATION
+            ),
+            out=TensorSpec(
+                f"{name}.out", (batch, heads, seq_q, d_head), TensorRole.ACTIVATION
+            ),
+        )

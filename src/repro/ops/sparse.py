@@ -1,0 +1,108 @@
+"""Sparse-attention workload adapters (paper section 7 composition).
+
+The paper positions FLAT as "orthogonal to model-level techniques such
+as quantization/sparsity/attention-matrix approximation ... it can be
+applied on top of these techniques to further improve system
+efficiency".  This module makes that claim testable: it models the
+structured sparse-attention patterns the paper cites — local (sliding
+window, Longformer-style), block-local (blockwise self-attention) and
+strided (sparse-transformer-style) — as *density* transforms on the L/A
+pair's compute and intermediate footprint, which the cost adapter in
+:mod:`repro.core` consumes.
+
+A pattern answers two questions:
+
+* what fraction of the N x N logit matrix is computed (``density``) —
+  scaling the L/A MACs, softmax work and intermediate traffic;
+* how many key positions one query row touches (``row_span``) — the
+  K/V working set a fused row block actually needs, which shrinks
+  FLAT's ``4*N*dk`` staging term for local patterns.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["SparsePatternKind", "SparsityPattern"]
+
+
+class SparsePatternKind(enum.Enum):
+    """Structured sparse-attention families cited by the paper."""
+
+    DENSE = "dense"
+    LOCAL_WINDOW = "local-window"   # Longformer-style sliding window
+    BLOCK_LOCAL = "block-local"     # blockwise self-attention
+    STRIDED = "strided"             # sparse-transformer stride pattern
+
+
+@dataclass(frozen=True)
+class SparsityPattern:
+    """One structured sparsity configuration for the L/A pair.
+
+    Parameters
+    ----------
+    kind:
+        Pattern family.
+    window:
+        For ``LOCAL_WINDOW``: keys attended on each side of the query
+        (total span ``2*window + 1``).  For ``BLOCK_LOCAL``: the block
+        edge.  For ``STRIDED``: the stride (every ``window``-th key plus
+        the local block of the same width).
+    """
+
+    kind: SparsePatternKind
+    window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is not SparsePatternKind.DENSE and self.window < 1:
+            raise ValueError(f"{self.kind.value} requires window >= 1")
+
+    def density(self, seq: int) -> float:
+        """Fraction of the seq x seq logit matrix computed."""
+        if seq < 1:
+            raise ValueError("seq must be positive")
+        if self.kind is SparsePatternKind.DENSE:
+            return 1.0
+        if self.kind is SparsePatternKind.LOCAL_WINDOW:
+            span = min(seq, 2 * self.window + 1)
+            return span / seq
+        if self.kind is SparsePatternKind.BLOCK_LOCAL:
+            block = min(seq, self.window)
+            return block / seq
+        # STRIDED: a local block plus every window-th column.
+        block = min(seq, self.window)
+        strided_cols = math.ceil(seq / self.window)
+        span = min(seq, block + strided_cols)
+        return span / seq
+
+    def row_span(self, seq: int) -> int:
+        """Key positions one query row touches (the K/V working set)."""
+        if seq < 1:
+            raise ValueError("seq must be positive")
+        if self.kind is SparsePatternKind.DENSE:
+            return seq
+        if self.kind is SparsePatternKind.LOCAL_WINDOW:
+            return min(seq, 2 * self.window + 1)
+        if self.kind is SparsePatternKind.BLOCK_LOCAL:
+            return min(seq, self.window)
+        return min(seq, self.window + math.ceil(seq / self.window))
+
+    def effective_kv_length(self, seq: int) -> int:
+        """Sequence length the K/V staging term effectively sees.
+
+        Local patterns bound each row block's key set, so the fused
+        dataflow only stages ``row_span`` keys instead of all ``N`` —
+        FLAT's footprint benefit composes with the sparsity benefit.
+        Strided patterns touch scattered keys, so gather granularity
+        keeps the staging set at ``row_span`` as well (we charge the
+        gathered volume, not the addressing).
+        """
+        return self.row_span(seq)
+
+    def describe(self, seq: int) -> str:
+        return (
+            f"{self.kind.value}(window={self.window}): density "
+            f"{self.density(seq):.4f}, row span {self.row_span(seq)}"
+        )

@@ -1,0 +1,90 @@
+"""Tensor specifications for the operator IR.
+
+A :class:`TensorSpec` describes the *shape and role* of a tensor flowing
+through an attention model — it carries no data.  Numerical execution lives
+in :mod:`repro.functional`; the cost model (:mod:`repro.core`) only needs
+sizes, roles and reuse structure, which is exactly what this module
+provides.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["TensorRole", "TensorSpec"]
+
+
+class TensorRole(enum.Enum):
+    """Role of a tensor from the accelerator's point of view.
+
+    The distinction matters for reuse analysis (paper section 2.2):
+    *weights* are model parameters that can be amortized across a batch,
+    while *activations* are unique per input sample and cannot.
+    """
+
+    WEIGHT = "weight"
+    ACTIVATION = "activation"
+
+    @property
+    def is_weight(self) -> bool:
+        return self is TensorRole.WEIGHT
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape-and-role description of one tensor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"bert.L0.logit"``.
+    dims:
+        Logical dimensions, outermost first.  Batch and head dimensions
+        are included explicitly so ``num_elements`` is the *total* live
+        size of the tensor.
+    role:
+        Whether the tensor is a weight (parameter) or an activation.
+    """
+
+    name: str
+    dims: Tuple[int, ...]
+    role: TensorRole
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError(f"tensor {self.name!r} must have at least one dim")
+        for d in self.dims:
+            if d <= 0:
+                raise ValueError(
+                    f"tensor {self.name!r} has non-positive dim {d} in {self.dims}"
+                )
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of scalar elements."""
+        return math.prod(self.dims)
+
+    def size_bytes(self, bytes_per_element: int = 2) -> int:
+        """Storage footprint in bytes at the given element width.
+
+        The paper evaluates everything at 16-bit precision, hence the
+        default of two bytes per element.
+        """
+        if bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
+        return self.num_elements * bytes_per_element
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """Return a copy with a different name (shape and role kept)."""
+        return TensorSpec(name=name, dims=self.dims, role=self.role)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "x".join(str(d) for d in self.dims)
+        return f"{self.name}[{shape}]({self.role.value})"

@@ -1,0 +1,22 @@
+"""Tile-level discrete simulator.
+
+Plays the validation role MAESTRO's RTL correlation plays for the
+paper's cost model: :mod:`repro.sim.schedule` expands a fused dataflow
+into explicit tile passes and :mod:`repro.sim.engine` executes them with
+double buffering and a shared off-chip channel.  Tests assert agreement
+with the analytical model in the fitting regime.
+"""
+
+from repro.sim.engine import PassTimeline, SimResult, simulate
+from repro.sim.trace import occupancy_summary, render_timeline
+from repro.sim.schedule import TilePass, build_la_schedule
+
+__all__ = [
+    "PassTimeline",
+    "occupancy_summary",
+    "render_timeline",
+    "SimResult",
+    "simulate",
+    "TilePass",
+    "build_la_schedule",
+]

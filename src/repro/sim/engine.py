@@ -1,0 +1,122 @@
+"""Discrete tile-level execution engine with double buffering.
+
+Replays a :class:`~repro.sim.schedule.TilePass` schedule the way the
+ATTACC controller would run it (paper section 5.1, feature 2):
+
+* the global scratchpad holds **two** buffers per stream (active +
+  warm-up), so the prefetch of pass ``i`` may begin only once pass
+  ``i - 2`` has finished executing and freed its slot;
+* prefetch reads and writeback writes share the single off-chip channel
+  (the "limited shared HW resource" of section 5.3.1);
+* compute of pass ``i`` starts when both its data has landed and the
+  array has drained pass ``i - 1``; softmax sits between the L and A
+  stages and is charged serially inside the pass.
+
+The engine is exact for any (possibly non-uniform) pass list, which
+makes it an independent check on the closed-form model: the analytical
+total must agree within a few percent wherever both apply (enforced by
+``tests/sim/test_cross_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.arch.accelerator import Accelerator
+from repro.sim.schedule import TilePass
+
+__all__ = ["PassTimeline", "SimResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class PassTimeline:
+    """Timing of one pass as the engine scheduled it."""
+
+    index: int
+    fetch_start: float
+    fetch_end: float
+    exec_start: float
+    exec_end: float
+
+    def __post_init__(self) -> None:
+        if not (
+            self.fetch_start <= self.fetch_end <= self.exec_end
+            and self.exec_start <= self.exec_end
+        ):
+            raise ValueError(f"pass {self.index}: inconsistent timeline")
+
+
+@dataclass
+class SimResult:
+    """Simulator output: total cycles plus busy accounting."""
+
+    total_cycles: float
+    timeline: List[PassTimeline] = field(default_factory=list)
+    compute_busy_cycles: float = 0.0
+    dram_busy_cycles: float = 0.0
+    dram_bytes: float = 0.0
+
+    @property
+    def compute_occupancy(self) -> float:
+        """Fraction of total time the PE array (or SFU) was busy."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.compute_busy_cycles / self.total_cycles
+
+
+def simulate(passes: Sequence[TilePass], accel: Accelerator) -> SimResult:
+    """Run the double-buffered pipeline over the pass schedule.
+
+    Recurrence (two buffer slots per stream):
+
+    * ``fetch_start[i] = max(fetch_end[i-1], exec_end[i-2])``
+    * ``exec_start[i]  = max(exec_end[i-1], fetch_end[i])``
+
+    The DRAM channel serves pass ``i``'s reads together with pass
+    ``i-1``'s writeback (they overlap on the shared channel, so the
+    engine charges their sum at channel bandwidth).  The final pass's
+    writeback is exposed at the end.
+    """
+    if not passes:
+        raise ValueError("empty schedule")
+    bw = accel.offchip_bytes_per_cycle
+    timeline: List[PassTimeline] = []
+    fetch_end_prev = 0.0
+    exec_end = [0.0, 0.0]  # exec_end[i-1], exec_end[i-2]
+    compute_busy = 0.0
+    dram_bytes = 0.0
+
+    prev_write_bytes = 0.0
+    for p in passes:
+        dram_demand = p.read_bytes + prev_write_bytes
+        fetch_start = max(fetch_end_prev, exec_end[1])
+        fetch_end = fetch_start + dram_demand / bw
+        exec_start = max(exec_end[0], fetch_end)
+        exec_time = p.compute_cycles + p.softmax_cycles
+        this_exec_end = exec_start + exec_time
+        timeline.append(
+            PassTimeline(
+                index=p.index,
+                fetch_start=fetch_start,
+                fetch_end=fetch_end,
+                exec_start=exec_start,
+                exec_end=this_exec_end,
+            )
+        )
+        compute_busy += exec_time
+        dram_bytes += dram_demand
+        fetch_end_prev = fetch_end
+        exec_end = [this_exec_end, exec_end[0]]
+        prev_write_bytes = p.write_bytes
+
+    # Final writeback is exposed.
+    total = exec_end[0] + prev_write_bytes / bw
+    dram_bytes += prev_write_bytes
+    return SimResult(
+        total_cycles=total,
+        timeline=timeline,
+        compute_busy_cycles=compute_busy,
+        dram_busy_cycles=dram_bytes / bw,
+        dram_bytes=dram_bytes,
+    )

@@ -1,0 +1,54 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.analysis.reports import format_bytes, format_float, format_table
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert format_bytes(20 * 1024) == "20.0KB"
+
+    def test_megabytes(self):
+        assert format_bytes(2.5 * 1024 * 1024) == "2.5MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(2 * 1024 ** 3) == "2.0GB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatFloat:
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_fixed_point_range(self):
+        assert format_float(0.954) == "0.954"
+        assert format_float(123.456, 1) == "123.5"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_float(1e9)
+        assert "e" in format_float(1e-6)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["A", "Blong"], [(1, "x"), (22, "yy")], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # All rows have equal width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        out = format_table(["X"], [])
+        assert "X" in out

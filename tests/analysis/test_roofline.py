@@ -1,0 +1,86 @@
+"""Unit tests for roofline analysis (Figure 2)."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    attainable_flops,
+    baseline_la_intensity,
+    batch_sweep_points,
+    conv_intensity,
+    roofline_points,
+    staged_ceiling_points,
+)
+from repro.models.configs import model_config
+
+
+@pytest.fixture
+def cfg():
+    return model_config("bert", seq=4096)
+
+
+class TestAttainable:
+    def test_compute_bound_at_high_intensity(self, edge_accel):
+        assert attainable_flops(1e6, edge_accel) == \
+            edge_accel.peak_flops_per_sec
+
+    def test_memory_bound_at_low_intensity(self, edge_accel):
+        flops = attainable_flops(1.0, edge_accel)
+        assert flops == edge_accel.offchip.bandwidth_bytes_per_sec
+
+    def test_onchip_ceiling_higher(self, edge_accel):
+        off = attainable_flops(10.0, edge_accel, "offchip")
+        on = attainable_flops(10.0, edge_accel, "onchip")
+        assert on >= off
+
+    def test_rejects_bad_args(self, edge_accel):
+        with pytest.raises(ValueError):
+            attainable_flops(0.0, edge_accel)
+        with pytest.raises(ValueError):
+            attainable_flops(1.0, edge_accel, "l4-cache")
+
+
+class TestIntensityOrdering:
+    def test_conv_intensity_highest(self, cfg, edge_accel):
+        points = {p.name: p for p in roofline_points(cfg, edge_accel)}
+        assert points["CONV"].intensity_flops_per_byte > \
+            points["FC"].intensity_flops_per_byte > \
+            points["L/A (algorithmic)"].intensity_flops_per_byte
+
+    def test_baseline_dataflow_degrades_la(self, cfg, edge_accel):
+        points = {p.name: p for p in roofline_points(cfg, edge_accel)}
+        assert points["L/A (Base dataflow)"].intensity_flops_per_byte < \
+            points["L/A (algorithmic)"].intensity_flops_per_byte
+
+    def test_baseline_la_is_memory_bound_on_edge(self, cfg, edge_accel):
+        points = {p.name: p for p in roofline_points(cfg, edge_accel)}
+        assert points["L/A (Base dataflow)"].peak_fraction < 1.0
+
+    def test_baseline_intensity_independent_of_batch(self, cfg):
+        i1 = baseline_la_intensity(cfg.with_batch(1))
+        i64 = baseline_la_intensity(cfg.with_batch(64))
+        assert i64 == pytest.approx(i1, rel=1e-9)
+
+
+class TestBatchSweep:
+    def test_fc_rises_la_flat(self, cfg, edge_accel):
+        rows = batch_sweep_points(cfg, edge_accel)
+        fc = [r[1].peak_fraction for r in rows]
+        la = [r[2].peak_fraction for r in rows]
+        assert fc[-1] > fc[0]
+        assert la[-1] == pytest.approx(la[0], rel=1e-9)
+
+    def test_fc_reaches_peak_at_large_batch(self, cfg, edge_accel):
+        rows = batch_sweep_points(cfg, edge_accel,
+                                  batches=(1, 1024))
+        assert rows[-1][1].peak_fraction == pytest.approx(1.0)
+
+
+class TestStagedCeiling:
+    def test_staging_lifts_la(self, cfg, edge_accel):
+        rows = {name: (off, on)
+                for name, off, on in staged_ceiling_points(cfg, edge_accel)}
+        off, on = rows["L/A"]
+        assert on > off
+
+    def test_conv_intensity_positive(self):
+        assert conv_intensity() > 100

@@ -1,0 +1,49 @@
+"""Unit tests for the buffer-sweep helper."""
+
+from repro.analysis.utilization import (
+    buffer_sweep,
+    default_buffer_sizes,
+)
+from repro.core.dataflow import base, flat_r
+from repro.core.dse import SearchSpace
+from repro.ops.attention import Scope
+
+KB = 1024
+
+
+class TestDefaultBufferSizes:
+    def test_covers_paper_range(self):
+        sizes = default_buffer_sizes()
+        assert min(sizes) == 20 * KB
+        assert max(sizes) == 2 * 1024 ** 3
+        assert sizes == tuple(sorted(sizes))
+
+
+class TestBufferSweep:
+    def test_fixed_dataflow_points(self, bert_512, edge_accel):
+        points = buffer_sweep(
+            bert_512, Scope.LA, edge_accel, [base(), flat_r(64)],
+            buffer_sizes=(128 * KB, 512 * KB),
+        )
+        assert len(points) == 4
+        names = {p.dataflow_name for p in points}
+        assert names == {"Base", "FLAT-R64"}
+        assert all(0 < p.utilization <= 1 for p in points)
+        assert all(p.energy_j > 0 for p in points)
+
+    def test_dse_entries_resolved_per_buffer(self, bert_512, edge_accel):
+        points = buffer_sweep(
+            bert_512, Scope.LA, edge_accel, [base()],
+            buffer_sizes=(512 * KB,),
+            dse_spaces={"FLAT-opt": SearchSpace(allow_fused=True)},
+        )
+        by_name = {p.dataflow_name: p for p in points}
+        assert "FLAT-opt" in by_name
+        assert by_name["FLAT-opt"].utilization >= by_name["Base"].utilization
+
+    def test_flat_gains_with_buffer(self, bert_4k, edge_accel):
+        points = buffer_sweep(
+            bert_4k, Scope.LA, edge_accel, [flat_r(128)],
+            buffer_sizes=(64 * KB, 64 * 1024 * KB),
+        )
+        assert points[1].utilization >= points[0].utilization

@@ -1,0 +1,97 @@
+"""Unit tests for the accelerator config, PE array, SFU and presets."""
+
+import pytest
+
+from repro.arch.noc import NoCKind
+from repro.arch.pe_array import PEArray
+from repro.arch.presets import cloud, edge, get_platform
+from repro.arch.sfu import SFUSpec
+
+
+class TestPEArray:
+    def test_num_pes(self):
+        assert PEArray(32, 32).num_pes == 1024
+
+    def test_peak_macs(self):
+        assert PEArray(8, 8, macs_per_pe_per_cycle=2).peak_macs_per_cycle == 128
+
+    def test_spatial_utilization_full(self):
+        assert PEArray(8, 8).spatial_utilization(8, 8) == 1.0
+
+    def test_spatial_utilization_partial(self):
+        assert PEArray(8, 8).spatial_utilization(4, 8) == 0.5
+
+    def test_spatial_utilization_clamps_oversize(self):
+        assert PEArray(8, 8).spatial_utilization(100, 100) == 1.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            PEArray(0, 8)
+
+
+class TestSFU:
+    def test_softmax_cycles(self):
+        sfu = SFUSpec(elements_per_cycle=128, softmax_passes=4)
+        assert sfu.softmax_cycles(1280) == 40.0
+
+    def test_softmax_flops(self):
+        sfu = SFUSpec(elements_per_cycle=128, softmax_passes=4)
+        assert sfu.softmax_flops(100) == 400
+
+    def test_rejects_negative_elements(self):
+        sfu = SFUSpec(elements_per_cycle=1)
+        with pytest.raises(ValueError):
+            sfu.softmax_cycles(-1)
+
+
+class TestPresets:
+    def test_edge_matches_figure_7a(self, edge_accel):
+        assert edge_accel.pe_array.num_pes == 32 * 32
+        assert edge_accel.sg_bytes == 512 * 1024
+        assert edge_accel.scratchpad.bandwidth_bytes_per_sec == 1e12
+        assert edge_accel.offchip.bandwidth_bytes_per_sec == 50e9
+        assert edge_accel.frequency_hz == 1e9
+        assert edge_accel.bytes_per_element == 2
+
+    def test_cloud_matches_figure_7a(self, cloud_accel):
+        assert cloud_accel.pe_array.num_pes == 256 * 256
+        assert cloud_accel.sg_bytes == 32 * 1024 * 1024
+        assert cloud_accel.scratchpad.bandwidth_bytes_per_sec == 8e12
+        assert cloud_accel.offchip.bandwidth_bytes_per_sec == 400e9
+
+    def test_get_platform(self):
+        assert get_platform("edge").name == "edge"
+        assert get_platform("cloud").name == "cloud"
+        with pytest.raises(ValueError):
+            get_platform("laptop")
+
+    def test_derived_rates(self, edge_accel):
+        assert edge_accel.offchip_bytes_per_cycle == 50.0
+        assert edge_accel.onchip_bytes_per_cycle == 1000.0
+        assert edge_accel.peak_macs_per_cycle == 1024
+        assert edge_accel.peak_flops_per_sec == 2 * 1024 * 1e9
+
+    def test_cycles_to_seconds(self, edge_accel):
+        assert edge_accel.cycles_to_seconds(1e9) == 1.0
+
+
+class TestVariants:
+    def test_with_scratchpad_bytes(self, edge_accel):
+        bigger = edge_accel.with_scratchpad_bytes(4 * 1024 * 1024)
+        assert bigger.sg_bytes == 4 * 1024 * 1024
+        # bandwidth preserved
+        assert (
+            bigger.scratchpad.bandwidth_bytes_per_sec
+            == edge_accel.scratchpad.bandwidth_bytes_per_sec
+        )
+        # original untouched (frozen dataclasses)
+        assert edge_accel.sg_bytes == 512 * 1024
+
+    def test_with_offchip_bandwidth(self, edge_accel):
+        fast = edge_accel.with_offchip_bandwidth(100e9)
+        assert fast.offchip_bytes_per_cycle == 100.0
+
+    def test_with_noc(self, edge_accel):
+        tree = edge_accel.with_noc(NoCKind.TREE)
+        assert tree.noc.kind is NoCKind.TREE
+        assert edge_accel.noc.kind is NoCKind.SYSTOLIC

@@ -1,0 +1,81 @@
+"""Unit tests for the area model and iso-area design generation."""
+
+import pytest
+
+from repro.arch.area import AreaModel, accelerator_area_mm2, iso_area_designs
+from repro.arch.presets import cloud, edge
+
+
+class TestAreaModel:
+    def test_component_areas_positive(self):
+        m = AreaModel()
+        assert m.pe_array_mm2(1024) > 0
+        assert m.sram_mm2(512 * 1024) > 0
+        assert m.sfu_mm2(1024) > 0
+
+    def test_noc_overhead_applied(self):
+        lean = AreaModel(noc_overhead_fraction=0.0)
+        fat = AreaModel(noc_overhead_fraction=0.5)
+        assert fat.pe_array_mm2(1024) == pytest.approx(
+            1.5 * lean.pe_array_mm2(1024)
+        )
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ValueError):
+            AreaModel(mm2_per_pe=0)
+        with pytest.raises(ValueError):
+            AreaModel(noc_overhead_fraction=1.0)
+
+    def test_cloud_bigger_than_edge(self):
+        assert accelerator_area_mm2(cloud()) > 10 * accelerator_area_mm2(
+            edge()
+        )
+
+    def test_edge_area_plausible(self):
+        # A small edge NPU: single-digit mm^2.
+        area = accelerator_area_mm2(edge())
+        assert 1.0 < area < 20.0
+
+
+class TestIsoAreaDesigns:
+    def test_designs_conserve_area(self):
+        ref = edge()
+        total = accelerator_area_mm2(ref)
+        for design in iso_area_designs(ref, [0.1, 0.3, 0.6]):
+            assert accelerator_area_mm2(design) == pytest.approx(
+                total, rel=0.10
+            )
+
+    def test_sram_fraction_monotone(self):
+        ref = edge()
+        designs = iso_area_designs(ref, [0.1, 0.4, 0.8])
+        sizes = [d.sg_bytes for d in designs]
+        pes = [d.pe_array.num_pes for d in designs]
+        assert sizes == sorted(sizes)
+        assert pes == sorted(pes, reverse=True)
+
+    def test_bandwidths_carried_over(self):
+        ref = edge()
+        for d in iso_area_designs(ref, [0.2]):
+            assert d.offchip.bandwidth_bytes_per_sec == \
+                ref.offchip.bandwidth_bytes_per_sec
+            assert d.frequency_hz == ref.frequency_hz
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            iso_area_designs(edge(), [0.0])
+        with pytest.raises(ValueError):
+            iso_area_designs(edge(), [1.0])
+
+
+class TestIsoAreaExperiment:
+    def test_flat_wins_iso_area_throughput(self):
+        from repro.experiments.iso_area import optimal_split, run
+
+        rows = run(seq=4096, sram_fractions=(0.05, 0.2, 0.6))
+        best_unfused, best_flat = optimal_split(rows)
+        # Same silicon: FLAT converts it into more throughput.
+        assert best_flat.flat_tops > best_unfused.unfused_tops
+        # And FLAT's per-row utilization never trails the unfused one.
+        for r in rows:
+            assert r.flat_util >= r.unfused_util - 1e-9

@@ -1,0 +1,81 @@
+"""Tests for the multi-cluster (scale-out) model."""
+
+import pytest
+
+from repro.arch.cluster import ClusteredAccelerator, cluster_slice
+from repro.arch.presets import cloud, edge
+
+
+class TestClusterSlice:
+    def test_divides_resources(self):
+        ref = cloud()
+        s = cluster_slice(ref, 4)
+        assert s.pe_array.rows == ref.pe_array.rows // 4
+        assert s.sg_bytes == ref.sg_bytes // 4
+        assert s.scratchpad.bandwidth_bytes_per_sec == pytest.approx(
+            ref.scratchpad.bandwidth_bytes_per_sec / 4
+        )
+
+    def test_single_cluster_is_identityish(self):
+        ref = edge()
+        s = cluster_slice(ref, 1)
+        assert s.pe_array.num_pes == ref.pe_array.num_pes
+        assert s.sg_bytes == ref.sg_bytes
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            cluster_slice(edge(), 0)
+
+
+class TestClusteredAccelerator:
+    def test_totals(self):
+        system = ClusteredAccelerator(
+            slice_accel=edge(), num_clusters=4,
+            shared_offchip_bytes_per_sec=50e9,
+        )
+        assert system.total_pes == 4 * 1024
+        assert system.peak_macs_per_cycle == 4 * 1024
+
+    def test_per_cluster_view_shares_channel(self):
+        system = ClusteredAccelerator(
+            slice_accel=cloud(), num_clusters=8,
+            shared_offchip_bytes_per_sec=400e9,
+        )
+        view = system.per_cluster_view()
+        assert view.offchip.bandwidth_bytes_per_sec == pytest.approx(50e9)
+        # Everything else is the slice's own.
+        assert view.sg_bytes == cloud().sg_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredAccelerator(edge(), 0, 50e9)
+        with pytest.raises(ValueError):
+            ClusteredAccelerator(edge(), 2, 0)
+
+
+class TestScaleoutExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.ext_scaleout import run
+
+        return run(cluster_counts=(1, 2, 8))
+
+    def test_unfused_pins_at_channel_limit(self, rows):
+        """The quadratic baseline cannot use added clusters."""
+        assert rows[1].base_tops == pytest.approx(rows[0].base_tops,
+                                                  rel=0.05)
+        assert rows[2].base_tops == pytest.approx(rows[0].base_tops,
+                                                  rel=0.05)
+
+    def test_flat_scales_with_clusters(self, rows):
+        assert rows[1].flat_tops > 1.8 * rows[0].flat_tops
+        assert rows[2].flat_tops > 6.0 * rows[0].flat_tops
+
+    def test_advantage_grows(self, rows):
+        advantages = [r.flat_advantage for r in rows]
+        assert advantages == sorted(advantages)
+
+    def test_report_renders(self, rows):
+        from repro.experiments.ext_scaleout import format_report
+
+        assert "shared" in format_report(rows)

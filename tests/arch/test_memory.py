@@ -1,0 +1,68 @@
+"""Unit tests for the memory hierarchy models."""
+
+import pytest
+
+from repro.arch.memory import (
+    OffChipSpec,
+    ScratchpadSpec,
+    SharedBandwidthArbiter,
+)
+
+
+class TestScratchpad:
+    def test_bytes_per_cycle(self):
+        sg = ScratchpadSpec(size_bytes=512 * 1024,
+                            bandwidth_bytes_per_sec=1e12)
+        assert sg.bytes_per_cycle(1e9) == 1000.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ScratchpadSpec(size_bytes=0, bandwidth_bytes_per_sec=1e12)
+        with pytest.raises(ValueError):
+            ScratchpadSpec(size_bytes=1024, bandwidth_bytes_per_sec=0)
+
+
+class TestOffChip:
+    def test_bytes_per_cycle(self):
+        dram = OffChipSpec(bandwidth_bytes_per_sec=50e9)
+        assert dram.bytes_per_cycle(1e9) == 50.0
+
+    def test_rejects_non_positive_bw(self):
+        with pytest.raises(ValueError):
+            OffChipSpec(bandwidth_bytes_per_sec=0)
+
+
+class TestArbiter:
+    def test_single_requester(self):
+        arb = SharedBandwidthArbiter(bytes_per_cycle=100.0)
+        arb.request("a", 1000.0)
+        assert arb.phase_cycles() == 10.0
+
+    def test_shared_channel_sums_demands(self):
+        arb = SharedBandwidthArbiter(bytes_per_cycle=50.0)
+        arb.request("prefetch", 500.0)
+        arb.request("writeback", 250.0)
+        assert arb.total_demand() == 750.0
+        assert arb.phase_cycles() == 15.0
+
+    def test_accumulation_per_requester(self):
+        arb = SharedBandwidthArbiter(bytes_per_cycle=1.0)
+        arb.request("a", 10.0)
+        arb.request("a", 5.0)
+        assert arb.demand_of("a") == 15.0
+        assert arb.demand_of("missing") == 0.0
+
+    def test_reset(self):
+        arb = SharedBandwidthArbiter(bytes_per_cycle=1.0)
+        arb.request("a", 10.0)
+        arb.reset()
+        assert arb.total_demand() == 0.0
+
+    def test_rejects_negative_demand(self):
+        arb = SharedBandwidthArbiter(bytes_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            arb.request("a", -1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            SharedBandwidthArbiter(bytes_per_cycle=0.0)

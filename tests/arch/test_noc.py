@@ -1,0 +1,67 @@
+"""Unit tests for the NoC models."""
+
+import pytest
+
+from repro.arch.noc import NoCKind, NoCSpec
+
+
+def spec(kind, words=64):
+    return NoCSpec(kind=kind, words_per_cycle=words)
+
+
+class TestFillDrain:
+    def test_systolic_fill_is_linear_in_array_edges(self):
+        s = spec(NoCKind.SYSTOLIC)
+        assert s.fill_drain_cycles(32, 32) == 62
+        assert s.fill_drain_cycles(256, 256) == 510
+
+    def test_tree_fill_is_logarithmic(self):
+        s = spec(NoCKind.TREE)
+        assert s.fill_drain_cycles(32, 32) == 10  # log2(1024)
+        assert s.fill_drain_cycles(256, 256) == 16
+
+    def test_crossbar_fill_is_constant(self):
+        s = spec(NoCKind.CROSSBAR)
+        assert s.fill_drain_cycles(32, 32) == 1
+        assert s.fill_drain_cycles(256, 256) == 1
+
+    def test_degenerate_single_pe(self):
+        assert spec(NoCKind.SYSTOLIC).fill_drain_cycles(1, 1) == 0
+        assert spec(NoCKind.TREE).fill_drain_cycles(1, 1) == 0
+
+    def test_ordering_matches_topology_cost(self):
+        # Crossbar <= tree <= systolic for any non-trivial array.
+        for rows, cols in ((8, 8), (32, 32), (128, 64)):
+            xb = spec(NoCKind.CROSSBAR).fill_drain_cycles(rows, cols)
+            tr = spec(NoCKind.TREE).fill_drain_cycles(rows, cols)
+            sy = spec(NoCKind.SYSTOLIC).fill_drain_cycles(rows, cols)
+            assert xb <= tr <= sy
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            spec(NoCKind.SYSTOLIC).fill_drain_cycles(0, 4)
+
+
+class TestBandwidth:
+    def test_distribution_cycles(self):
+        s = spec(NoCKind.TREE, words=128)
+        assert s.distribution_cycles(1280) == 10.0
+
+    def test_reduction_cycles(self):
+        s = spec(NoCKind.SYSTOLIC, words=64)
+        assert s.reduction_cycles(640) == 10.0
+
+    def test_rejects_negative_words(self):
+        with pytest.raises(ValueError):
+            spec(NoCKind.TREE).distribution_cycles(-1)
+        with pytest.raises(ValueError):
+            spec(NoCKind.TREE).reduction_cycles(-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NoCSpec(kind=NoCKind.TREE, words_per_cycle=0)
+
+    def test_multicast_factor(self):
+        assert spec(NoCKind.TREE).multicast_factor(16) == 16
+        with pytest.raises(ValueError):
+            spec(NoCKind.TREE).multicast_factor(0)

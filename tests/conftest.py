@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.presets import cloud, edge
+from repro.models.configs import model_config
+from repro.ops.attention import AttentionConfig
+
+
+@pytest.fixture
+def edge_accel():
+    """The paper's edge platform (32x32 PEs, 512 KB, 50 GB/s)."""
+    return edge()
+
+
+@pytest.fixture
+def cloud_accel():
+    """The paper's cloud platform (256x256 PEs, 32 MB, 400 GB/s)."""
+    return cloud()
+
+
+@pytest.fixture
+def small_cfg():
+    """A tiny attention config for fast exact checks."""
+    return AttentionConfig(
+        name="tiny", batch=2, heads=4, d_model=64, seq_q=32, seq_kv=32,
+        d_ff=128, num_blocks=2,
+    )
+
+
+@pytest.fixture
+def bert_512():
+    """BERT-base at the paper's shortest sequence length."""
+    return model_config("bert", seq=512)
+
+
+@pytest.fixture
+def bert_4k():
+    return model_config("bert", seq=4096)
+
+
+@pytest.fixture
+def xlm_16k():
+    return model_config("xlm", seq=16384)

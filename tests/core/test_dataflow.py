@@ -1,0 +1,103 @@
+"""Unit tests for the dataflow configuration space."""
+
+import pytest
+
+from repro.core.dataflow import (
+    Dataflow,
+    Granularity,
+    StagingPolicy,
+    Stationarity,
+    base,
+    base_x,
+    flat_r,
+    flat_x,
+)
+
+
+class TestStagingPolicy:
+    def test_all_enabled(self):
+        assert StagingPolicy.all_enabled().as_tuple() == (True,) * 5
+
+    def test_all_disabled(self):
+        p = StagingPolicy.all_disabled()
+        assert p.as_tuple() == (False,) * 5
+        assert not p.any_enabled
+
+    def test_intermediate_only_matches_walkthrough(self):
+        p = StagingPolicy.intermediate_only()
+        assert p.intermediate and not (p.lhs or p.rhs or p.rhs2 or p.out)
+
+
+class TestDataflowValidation:
+    def test_base_has_no_l3(self):
+        df = base()
+        assert not df.has_l3
+        assert not df.fused
+
+    def test_fused_requires_granularity(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="bad", fused=True, granularity=None)
+
+    def test_plain_base_cannot_stage(self):
+        with pytest.raises(ValueError):
+            Dataflow(
+                name="bad", fused=False, granularity=None,
+                staging=StagingPolicy.all_enabled(),
+            )
+
+    def test_row_granularity_requires_fusion(self):
+        with pytest.raises(ValueError):
+            Dataflow(
+                name="bad", fused=False, granularity=Granularity.R, rows=8,
+            )
+
+    def test_row_granularity_requires_rows(self):
+        with pytest.raises(ValueError):
+            Dataflow(name="bad", fused=True, granularity=Granularity.R,
+                     rows=0)
+
+    def test_base_x_rejects_row_granularity(self):
+        with pytest.raises(ValueError):
+            base_x(Granularity.R)
+
+    def test_flat_x_rejects_row_granularity(self):
+        with pytest.raises(ValueError):
+            flat_x(Granularity.R)
+
+
+class TestCrossTile:
+    def test_m_granularity_covers_everything(self):
+        assert flat_x(Granularity.M).cross_tile(8, 4, 128) == (8, 4, 128)
+
+    def test_b_granularity_single_batch(self):
+        assert flat_x(Granularity.B).cross_tile(8, 4, 128) == (1, 4, 128)
+
+    def test_b_granularity_with_tile(self):
+        df = flat_x(Granularity.B, batch_tile=4)
+        assert df.cross_tile(8, 4, 128) == (4, 4, 128)
+
+    def test_h_granularity_single_head(self):
+        assert flat_x(Granularity.H).cross_tile(8, 4, 128) == (1, 1, 128)
+
+    def test_r_granularity_rows(self):
+        assert flat_r(16).cross_tile(8, 4, 128) == (1, 1, 16)
+
+    def test_r_clamped_to_seq(self):
+        assert flat_r(512).cross_tile(8, 4, 128) == (1, 1, 128)
+
+    def test_plain_base_is_one_big_pass(self):
+        assert base().cross_tile(8, 4, 128) == (8, 4, 128)
+
+
+class TestNames:
+    def test_constructor_names(self):
+        assert base().name == "Base"
+        assert base_x(Granularity.M).name == "Base-M"
+        assert flat_x(Granularity.H).name == "FLAT-H"
+        assert flat_r(64).name == "FLAT-R64"
+
+    def test_with_name(self):
+        assert flat_r(8).with_name("custom").name == "custom"
+
+    def test_default_stationarity(self):
+        assert base().stationarity is Stationarity.OUTPUT

@@ -1,0 +1,130 @@
+"""Unit tests for the design-space exploration framework."""
+
+import pytest
+
+from repro.core.dataflow import Granularity
+from repro.core.dse import (
+    Objective,
+    SearchSpace,
+    enumerate_dataflows,
+    search,
+)
+from repro.ops.attention import Scope
+
+
+class TestEnumeration:
+    def test_default_space_contains_all_families(self, bert_512, edge_accel):
+        names = {
+            df.name for df in enumerate_dataflows(bert_512, edge_accel)
+        }
+        assert "Base" in names
+        assert any(n.startswith("Base-M") for n in names)
+        assert any(n.startswith("FLAT-H") for n in names)
+        assert any(n.startswith("FLAT-R") for n in names)
+
+    def test_unfused_space_has_no_flat(self, bert_512, edge_accel):
+        space = SearchSpace(allow_fused=False,
+                            granularities=(Granularity.M, Granularity.B,
+                                           Granularity.H))
+        names = {
+            df.name for df in enumerate_dataflows(bert_512, edge_accel,
+                                                  space)
+        }
+        assert all(not n.startswith("FLAT") for n in names)
+
+    def test_fused_only_space_has_no_base_x(self, bert_512, edge_accel):
+        space = SearchSpace(
+            allow_fused=True, allow_unfused=False,
+            include_plain_base=False,
+        )
+        flows = list(enumerate_dataflows(bert_512, edge_accel, space))
+        assert flows
+        assert all(df.fused for df in flows)
+
+    def test_row_choices_respected(self, bert_512, edge_accel):
+        space = SearchSpace(
+            granularities=(Granularity.R,), row_choices=(16, 32),
+            allow_unfused=False, include_plain_base=False,
+        )
+        rows = {
+            df.rows for df in enumerate_dataflows(bert_512, edge_accel,
+                                                  space)
+        }
+        assert rows == {16, 32}
+
+    def test_exhaustive_staging_grows_space(self, bert_512, edge_accel):
+        lean = len(list(enumerate_dataflows(bert_512, edge_accel)))
+        fat = len(list(enumerate_dataflows(
+            bert_512, edge_accel, SearchSpace(exhaustive_staging=True)
+        )))
+        assert fat > lean
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(allow_fused=False, allow_unfused=False)
+
+
+class TestSearch:
+    def test_best_is_minimum_over_points(self, bert_512, edge_accel):
+        result = search(bert_512, edge_accel, scope=Scope.LA)
+        best_cycles = result.best.cost.total_cycles
+        assert all(
+            p.cost.total_cycles >= best_cycles for p in result.points
+        )
+
+    def test_flat_opt_wins_on_la(self, bert_512, edge_accel):
+        result = search(bert_512, edge_accel, scope=Scope.LA)
+        assert result.best.dataflow.fused
+
+    def test_energy_objective_finds_min_energy(self, bert_512, edge_accel):
+        result = search(
+            bert_512, edge_accel, scope=Scope.LA, objective=Objective.ENERGY
+        )
+        best = result.best.energy.total_j
+        assert all(p.energy.total_j >= best for p in result.points)
+
+    def test_energy_opt_no_worse_energy_than_runtime_opt(
+        self, bert_512, edge_accel
+    ):
+        rt = search(bert_512, edge_accel, objective=Objective.RUNTIME)
+        en = search(bert_512, edge_accel, objective=Objective.ENERGY)
+        assert en.best.energy.total_j <= rt.best.energy.total_j
+
+    def test_edp_objective(self, bert_512, edge_accel):
+        result = search(
+            bert_512, edge_accel, objective=Objective.EDP
+        )
+        best = result.best
+        key = best.energy.total_j * best.cost.total_cycles
+        assert all(
+            p.energy.total_j * p.cost.total_cycles >= key
+            for p in result.points
+        )
+
+    def test_footprint_objective(self, bert_512, edge_accel):
+        result = search(
+            bert_512, edge_accel, objective=Objective.FOOTPRINT
+        )
+        best = result.best.footprint_bytes
+        assert all(p.footprint_bytes >= best for p in result.points)
+
+
+class TestParetoFront:
+    def test_front_is_strictly_improving(self, bert_512, edge_accel):
+        result = search(bert_512, edge_accel)
+        front = result.pareto_front()
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.footprint_bytes <= b.footprint_bytes
+            assert a.utilization < b.utilization
+
+    def test_front_dominates_all_points(self, bert_512, edge_accel):
+        result = search(bert_512, edge_accel)
+        front = result.pareto_front()
+        for p in result.points:
+            dominated = any(
+                f.footprint_bytes <= p.footprint_bytes
+                and f.utilization >= p.utilization
+                for f in front
+            )
+            assert dominated

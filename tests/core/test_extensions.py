@@ -1,0 +1,117 @@
+"""Tests for the pipelined-execution and online-softmax extensions."""
+
+import pytest
+
+from repro.arch.presets import cloud, edge
+from repro.core.dataflow import Granularity, base, flat_r, flat_x
+from repro.core.online import (
+    OnlineDataflow,
+    choose_online_tile,
+    cost_online_la,
+    online_footprint_elements,
+)
+from repro.core.perf import cost_la_pair
+from repro.core.pipeline import (
+    cost_fused_la_pipelined,
+    pipelined_nonfused_penalty,
+)
+from repro.models.configs import model_config
+
+
+class TestPipelinedExecution:
+    """Paper section 5.1: interleaving beats spatial pipelining."""
+
+    @pytest.mark.parametrize("seq", [512, 4096])
+    def test_interleaved_never_slower(self, seq, edge_accel):
+        cfg = model_config("bert", seq=seq)
+        df = flat_r(64)
+        interleaved = cost_la_pair(cfg, df, edge_accel)
+        pipelined = cost_fused_la_pipelined(cfg, df, edge_accel)
+        assert interleaved.total_cycles <= pipelined.total_cycles
+
+    def test_pipelined_pays_fill_drain_bubble(self, edge_accel):
+        cfg = model_config("bert", seq=512)
+        df = flat_x(Granularity.H)
+        interleaved = cost_la_pair(cfg, df, edge_accel)
+        pipelined = cost_fused_la_pipelined(cfg, df, edge_accel)
+        assert pipelined.compute_cycles > interleaved.compute_cycles
+
+    def test_same_traffic_and_footprint(self, edge_accel):
+        cfg = model_config("bert", seq=512)
+        df = flat_r(64)
+        interleaved = cost_la_pair(cfg, df, edge_accel)
+        pipelined = cost_fused_la_pipelined(cfg, df, edge_accel)
+        assert pipelined.dram_bytes == interleaved.dram_bytes
+        assert pipelined.footprint_bytes == interleaved.footprint_bytes
+
+    def test_rejects_unfused(self, bert_512, edge_accel):
+        with pytest.raises(ValueError):
+            cost_fused_la_pipelined(bert_512, base(), edge_accel)
+
+    def test_nonfused_penalty_is_structural_2x(self, edge_accel):
+        assert pipelined_nonfused_penalty(edge_accel) == 2.0
+
+
+class TestOnlineDataflow:
+    def test_footprint_independent_of_n(self):
+        df = OnlineDataflow(rows=64, cols=64)
+        assert online_footprint_elements(df, 64) == \
+            online_footprint_elements(df, 64)
+        # No N anywhere in the formula: the same tile serves any length.
+        small = online_footprint_elements(df, 64)
+        assert small == online_footprint_elements(df, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineDataflow(rows=0, cols=4)
+
+    def test_choose_tile_fits_budget(self, edge_accel):
+        cfg = model_config("bert", seq=65536)
+        tile = choose_online_tile(cfg, edge_accel)
+        footprint = online_footprint_elements(tile, cfg.d_head) * 2
+        assert footprint <= edge_accel.sg_bytes
+
+    def test_online_holds_cap_at_long_n_small_buffer(self, edge_accel):
+        """The extension's headline: N-independent utilization."""
+        utils = []
+        for seq in (4096, 65536, 262144):
+            cfg = model_config("bert", seq=seq)
+            tile = choose_online_tile(cfg, edge_accel)
+            utils.append(cost_online_la(cfg, tile, edge_accel).utilization)
+        assert all(u > 0.9 for u in utils)
+        assert max(utils) - min(utils) < 0.05
+
+    def test_online_beats_flat_where_flat_spills(self, edge_accel):
+        cfg = model_config("bert", seq=65536)
+        tile = choose_online_tile(cfg, edge_accel)
+        online = cost_online_la(cfg, tile, edge_accel)
+        flat = cost_la_pair(cfg, flat_r(64), edge_accel)
+        assert online.utilization > flat.utilization
+
+    def test_flat_competitive_when_staging_fits(self, edge_accel):
+        """At short N (fits), FLAT matches the online schedule: the
+        extension buys nothing the paper's dataflow didn't already
+        have."""
+        cfg = model_config("bert", seq=512)
+        tile = choose_online_tile(cfg, edge_accel)
+        online = cost_online_la(cfg, tile, edge_accel)
+        flat = cost_la_pair(cfg, flat_r(64), edge_accel)
+        assert flat.utilization > 0.9
+        assert abs(flat.utilization - online.utilization) < 0.1
+
+    def test_online_traffic_linear_in_row_passes(self, edge_accel):
+        cfg = model_config("bert", seq=16384)
+        small_r = cost_online_la(cfg, OnlineDataflow(rows=64, cols=64),
+                                 edge_accel)
+        big_r = cost_online_la(cfg, OnlineDataflow(rows=512, cols=64),
+                               edge_accel)
+        # Bigger row tiles -> fewer K/V re-reads -> less traffic.
+        assert big_r.dram_bytes < small_r.dram_bytes
+
+    def test_online_never_quadratic_traffic(self, cloud_accel):
+        cfg = model_config("xlm", seq=65536)
+        tile = choose_online_tile(cfg, cloud_accel)
+        cost = cost_online_la(cfg, tile, cloud_accel)
+        e = cloud_accel.bytes_per_element
+        logit_bytes = cfg.batch * cfg.heads * cfg.seq_q * cfg.seq_kv * e
+        assert cost.dram_bytes < logit_bytes  # far below one N^2 pass

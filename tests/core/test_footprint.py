@@ -1,0 +1,117 @@
+"""Unit tests for the live-memory-footprint model (Table 2)."""
+
+import pytest
+
+from repro.core.dataflow import Granularity, StagingPolicy, base, base_x, flat_r, flat_x
+from repro.core.footprint import (
+    footprint_b_gran,
+    footprint_h_gran,
+    footprint_m_gran,
+    footprint_r_gran,
+    fused_la_footprint,
+    operator_l3_footprint,
+)
+from repro.ops.attention import AttentionConfig, build_attention_layer
+from repro.ops.operator import OperatorKind
+
+
+def cfg(batch=4, heads=8, d_model=256, seq=128):
+    return AttentionConfig(
+        "fp", batch=batch, heads=heads, d_model=d_model, seq_q=seq,
+        seq_kv=seq, d_ff=4 * d_model,
+    )
+
+
+class TestClosedFormsMatchBreakdown:
+    """The Table 2 formulas must equal the per-tensor breakdown exactly."""
+
+    def test_m_gran(self):
+        c = cfg()
+        assert fused_la_footprint(c, flat_x(Granularity.M)).total_elements \
+            == footprint_m_gran(c.batch, c.heads, c.seq_q, c.d_model)
+
+    def test_b_gran(self):
+        c = cfg()
+        assert fused_la_footprint(c, flat_x(Granularity.B)).total_elements \
+            == footprint_b_gran(c.heads, c.seq_q, c.d_model)
+
+    def test_h_gran(self):
+        c = cfg()
+        assert fused_la_footprint(c, flat_x(Granularity.H)).total_elements \
+            == footprint_h_gran(c.seq_q, c.d_head)
+
+    @pytest.mark.parametrize("rows", [1, 8, 64])
+    def test_r_gran(self, rows):
+        c = cfg()
+        assert fused_la_footprint(c, flat_r(rows)).total_elements \
+            == footprint_r_gran(rows, c.seq_q, c.d_head)
+
+
+class TestScalingLaws:
+    def test_r_gran_linear_in_n(self):
+        small = footprint_r_gran(8, 1024, 64)
+        big = footprint_r_gran(8, 4096, 64)
+        assert big / small < 4.5  # O(N)
+
+    def test_h_gran_quadratic_in_n(self):
+        small = footprint_h_gran(1024, 64)
+        big = footprint_h_gran(4096, 64)
+        assert big / small > 10  # O(N^2)
+
+    def test_m_gran_scales_with_batch(self):
+        assert footprint_m_gran(8, 4, 128, 256) == \
+            8 * footprint_b_gran(4, 128, 256)
+
+    def test_granularity_ordering(self):
+        c = cfg()
+        m = fused_la_footprint(c, flat_x(Granularity.M)).total_elements
+        b = fused_la_footprint(c, flat_x(Granularity.B)).total_elements
+        h = fused_la_footprint(c, flat_x(Granularity.H)).total_elements
+        r = fused_la_footprint(c, flat_r(4)).total_elements
+        assert m > b > h > r
+
+
+class TestStagingSelectivity:
+    def test_disabling_all_gives_zero(self):
+        c = cfg()
+        df = flat_r(8, staging=StagingPolicy.all_disabled())
+        assert fused_la_footprint(c, df).total_elements == 0
+
+    def test_intermediate_only(self):
+        c = cfg()
+        df = flat_r(8, staging=StagingPolicy.intermediate_only())
+        fp = fused_la_footprint(c, df)
+        assert fp.intermediate_elements == 8 * c.seq_kv
+        assert fp.lhs_elements == fp.rhs_elements == 0
+
+    def test_intermediate_not_double_buffered(self):
+        # Section 4.4: "no double buffering since it does not interact
+        # with off-chip memory".
+        c = cfg()
+        fp = fused_la_footprint(c, flat_r(8))
+        assert fp.intermediate_elements == 8 * c.seq_kv  # 1x, not 2x
+        assert fp.rhs_elements == 2 * c.seq_kv * c.d_head  # 2x (K)
+
+    def test_plain_base_footprint_zero(self):
+        assert fused_la_footprint(cfg(), base()).total_elements == 0
+
+
+class TestOperatorL3Footprint:
+    def test_projection_weight_not_scaled_by_batch_tile(self):
+        c = cfg()
+        ops = build_attention_layer(c)
+        q = next(o for o in ops if o.kind is OperatorKind.QUERY)
+        df = base_x(Granularity.B, batch_tile=1)
+        fp = operator_l3_footprint(q, df, c.batch, c.heads)
+        assert fp.rhs_elements == 2 * c.d_model * c.d_model  # weight, 2x buf
+
+    def test_plain_base_zero(self):
+        c = cfg()
+        ops = build_attention_layer(c)
+        fp = operator_l3_footprint(ops[0], base(), c.batch, c.heads)
+        assert fp.total_elements == 0
+
+    def test_bytes_conversion(self):
+        c = cfg()
+        fp = fused_la_footprint(c, flat_r(8))
+        assert fp.total_bytes(2) == 2 * fp.total_elements

@@ -1,0 +1,108 @@
+"""Tests for the two-level memory hierarchy extension."""
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core.dataflow import base, flat_r
+from repro.core.hierarchy import MemoryTier, cost_la_pair_two_level
+from repro.core.perf import cost_la_pair
+from repro.models.configs import model_config
+
+MB = 1024 * 1024
+
+
+class TestMemoryTier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryTier(size_bytes=-1, bandwidth_bytes_per_sec=1e11)
+        with pytest.raises(ValueError):
+            MemoryTier(size_bytes=MB, bandwidth_bytes_per_sec=0)
+        with pytest.raises(ValueError):
+            MemoryTier(size_bytes=MB, bandwidth_bytes_per_sec=1e11,
+                       pj_per_word=-1)
+
+
+class TestTwoLevelCost:
+    @pytest.fixture
+    def accel(self):
+        return edge()
+
+    @pytest.fixture
+    def cfg(self):
+        return model_config("bert", seq=65536)
+
+    def test_zero_tier_matches_single_level(self, cfg, accel):
+        tier = MemoryTier(size_bytes=0, bandwidth_bytes_per_sec=1e11)
+        two = cost_la_pair_two_level(cfg, flat_r(256), accel, tier)
+        one = cost_la_pair(cfg, flat_r(256), accel)
+        assert two.total_cycles == one.total_cycles
+        assert two.dram_bytes == one.dram_bytes
+
+    def test_small_tier_is_noop(self, cfg, accel):
+        # A tier smaller than the SG adds nothing.
+        tier = MemoryTier(size_bytes=accel.sg_bytes // 2,
+                          bandwidth_bytes_per_sec=1e11)
+        two = cost_la_pair_two_level(cfg, flat_r(256), accel, tier)
+        one = cost_la_pair(cfg, flat_r(256), accel)
+        assert two.total_cycles == one.total_cycles
+
+    def test_tier_reduces_dram_traffic(self, cfg, accel):
+        tier = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=2e11)
+        two = cost_la_pair_two_level(cfg, flat_r(256), accel, tier)
+        one = cost_la_pair(cfg, flat_r(256), accel)
+        assert two.dram_bytes < one.dram_bytes
+
+    def test_tier_recovers_flat_utilization(self, cfg, accel):
+        tier = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=2e11)
+        with_tier = cost_la_pair_two_level(cfg, flat_r(256), accel, tier)
+        without = cost_la_pair(cfg, flat_r(256), accel)
+        assert with_tier.utilization > without.utilization + 0.2
+
+    def test_tier_helps_flat_more_than_base(self, cfg, accel):
+        tier = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=2e11)
+        base_gain = (
+            cost_la_pair_two_level(cfg, base(), accel, tier).utilization
+            - cost_la_pair(cfg, base(), accel).utilization
+        )
+        flat_gain = (
+            cost_la_pair_two_level(cfg, flat_r(256), accel, tier).utilization
+            - cost_la_pair(cfg, flat_r(256), accel).utilization
+        )
+        assert flat_gain > 3 * max(base_gain, 0.01)
+
+    def test_bigger_tier_never_hurts(self, cfg, accel):
+        utils = []
+        for size in (8 * MB, 32 * MB, 128 * MB):
+            tier = MemoryTier(size_bytes=size,
+                              bandwidth_bytes_per_sec=2e11)
+            utils.append(
+                cost_la_pair_two_level(cfg, flat_r(256), accel,
+                                       tier).utilization
+            )
+        assert all(b >= a - 1e-9 for a, b in zip(utils, utils[1:]))
+
+    def test_slower_tier_lower_utilization(self, cfg, accel):
+        fast = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=4e11)
+        slow = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=0.6e11)
+        u_fast = cost_la_pair_two_level(cfg, flat_r(256), accel,
+                                        fast).utilization
+        u_slow = cost_la_pair_two_level(cfg, flat_r(256), accel,
+                                        slow).utilization
+        assert u_fast >= u_slow
+
+    def test_energy_between_sg_and_dram(self, cfg, accel):
+        """Moving spill traffic to the tier must not raise energy."""
+        from repro.energy.model import energy_report
+
+        tier = MemoryTier(size_bytes=64 * MB,
+                          bandwidth_bytes_per_sec=2e11)
+        one = energy_report(cost_la_pair(cfg, flat_r(256), accel).counts)
+        two = energy_report(
+            cost_la_pair_two_level(cfg, flat_r(256), accel, tier).counts
+        )
+        assert two.total_j <= one.total_j

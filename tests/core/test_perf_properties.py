@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the cost model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import edge
+from repro.core.dataflow import Granularity, base, base_x, flat_r, flat_x
+from repro.core.footprint import fused_la_footprint
+from repro.core.perf import cost_la_pair
+from repro.ops.attention import AttentionConfig
+
+_EDGE = edge()
+
+
+def _cfg(batch, heads, d_head, seq):
+    return AttentionConfig(
+        name="prop",
+        batch=batch,
+        heads=heads,
+        d_model=heads * d_head,
+        seq_q=seq,
+        seq_kv=seq,
+        d_ff=4 * heads * d_head,
+    )
+
+
+workloads = st.builds(
+    _cfg,
+    batch=st.integers(min_value=1, max_value=64),
+    heads=st.integers(min_value=1, max_value=16),
+    d_head=st.sampled_from([16, 32, 64, 128]),
+    seq=st.sampled_from([64, 256, 1024, 4096]),
+)
+
+dataflows = st.one_of(
+    st.just(base()),
+    st.sampled_from([base_x(g) for g in
+                     (Granularity.M, Granularity.B, Granularity.H)]),
+    st.sampled_from([flat_x(g) for g in
+                     (Granularity.M, Granularity.B, Granularity.H)]),
+    st.builds(flat_r, st.sampled_from([1, 8, 64, 256])),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=workloads, dataflow=dataflows)
+def test_utilization_always_in_unit_interval(cfg, dataflow):
+    cost = cost_la_pair(cfg, dataflow, _EDGE)
+    assert 0.0 < cost.utilization <= 1.0 + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(cfg=workloads, dataflow=dataflows)
+def test_costs_are_finite_and_nonnegative(cfg, dataflow):
+    cost = cost_la_pair(cfg, dataflow, _EDGE)
+    assert cost.total_cycles > 0
+    assert cost.dram_bytes >= 0
+    assert cost.sg_bytes >= 0
+    assert cost.footprint_bytes >= 0
+    assert cost.counts.macs > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=workloads, dataflow=dataflows)
+def test_dram_traffic_at_least_compulsory_when_unstaged_inputs(cfg, dataflow):
+    """Off-chip traffic can never be below each tensor moved once —
+    unless everything live is staged, in which case the intermediate
+    never moves at all."""
+    cost = cost_la_pair(cfg, dataflow, _EDGE)
+    e = _EDGE.bytes_per_element
+    io_elements = (
+        3 * cfg.batch * cfg.heads * cfg.seq_kv * cfg.d_head  # Q, K, V
+        + cfg.batch * cfg.heads * cfg.seq_q * cfg.d_head  # out
+    )
+    assert cost.dram_bytes >= 0.99 * io_elements * e
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cfg=workloads,
+    rows=st.sampled_from([1, 4, 16, 64]),
+)
+def test_r_gran_footprint_formula(cfg, rows):
+    """The R-gran breakdown always matches Table 2's closed form."""
+    fp = fused_la_footprint(cfg, flat_r(rows))
+    r = min(rows, cfg.seq_q)
+    expected = (
+        4 * r * cfg.d_head + 4 * cfg.seq_kv * cfg.d_head + r * cfg.seq_kv
+    )
+    assert fp.total_elements == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(cfg=workloads, dataflow=dataflows)
+def test_doubling_bandwidth_never_hurts(cfg, dataflow):
+    slow = cost_la_pair(cfg, dataflow, _EDGE)
+    fast = cost_la_pair(
+        cfg, dataflow, _EDGE.with_offchip_bandwidth(100e9)
+    )
+    assert fast.total_cycles <= slow.total_cycles * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(cfg=workloads)
+def test_fused_never_more_dram_than_unfused_all_staged(cfg):
+    """With identical granularity and staging, fusing can only remove
+    the softmax round trip, never add traffic."""
+    for gran in (Granularity.B, Granularity.H):
+        fused = cost_la_pair(cfg, flat_x(gran), _EDGE)
+        unfused = cost_la_pair(cfg, base_x(gran), _EDGE)
+        assert fused.dram_bytes <= unfused.dram_bytes * (1 + 1e-9)

@@ -1,0 +1,100 @@
+"""Unit tests for tile math and reuse analysis."""
+
+import pytest
+
+from repro.core.tiling import L2Tile, ceil_div, choose_l2_tile, reuse_passes
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_remainder(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+
+class TestL2Tile:
+    def test_footprint_double_buffered(self):
+        t = L2Tile(4, 8, 16)
+        single = 4 * 8 + 8 * 16 + 4 * 16
+        assert t.footprint_elements() == 2 * single
+        assert t.footprint_elements(double_buffered=False) == single
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            L2Tile(0, 1, 1)
+
+
+class TestReusePasses:
+    def test_full_tile_means_single_passes(self):
+        p = reuse_passes(64, 32, 128, L2Tile(64, 32, 128))
+        assert (p.lhs_passes, p.rhs_passes, p.out_passes) == (1, 1, 1)
+
+    def test_picks_min_traffic_order(self):
+        # lhs tiny, rhs huge: keeping rhs resident re-reads the tiny lhs.
+        m, k, n = 8, 16, 4096
+        tile = L2Tile(8, 16, 256)
+        p = reuse_passes(m, k, n, tile)
+        traffic = m * k * p.lhs_passes + k * n * p.rhs_passes
+        # The alternative order would stream the big rhs ceil(m/tm)=1...
+        # verify chosen traffic is the min of both explicit orders.
+        alt1 = m * k * 1 + k * n * ceil_div(m, tile.tm)
+        alt2 = m * k * ceil_div(n, tile.tn) + k * n * 1
+        assert traffic == min(alt1, alt2)
+
+    def test_partial_k_forces_psum_passes(self):
+        p = reuse_passes(64, 128, 64, L2Tile(64, 32, 64))
+        assert p.out_passes == 2 * 4 - 1
+
+    def test_full_k_single_out_pass(self):
+        p = reuse_passes(64, 128, 64, L2Tile(64, 128, 64))
+        assert p.out_passes == 1
+
+
+class TestChooseL2Tile:
+    def test_whole_gemm_when_budget_ample(self):
+        t = choose_l2_tile(64, 32, 64, budget_elements=10**9,
+                           array_rows=32, array_cols=32)
+        assert (t.tm, t.tk, t.tn) == (64, 32, 64)
+
+    def test_fits_budget_when_constrained(self):
+        budget = 8000  # above the minimal 32x32x32 tile (6144 elements)
+        t = choose_l2_tile(512, 64, 512, budget, 32, 32)
+        assert t.footprint_elements() <= budget
+
+    def test_minimal_tile_fallback_when_budget_tiny(self):
+        t = choose_l2_tile(512, 512, 512, budget_elements=10, array_rows=32,
+                           array_cols=32)
+        # Falls back to the array-shaped minimal tile.
+        assert (t.tm, t.tn) == (32, 32)
+
+    def test_bigger_budget_never_more_traffic(self):
+        def traffic(budget):
+            t = choose_l2_tile(1024, 128, 1024, budget, 32, 32)
+            p = reuse_passes(1024, 128, 1024, t)
+            return (
+                1024 * 128 * p.lhs_passes
+                + 128 * 1024 * p.rhs_passes
+                + 1024 * 1024 * p.out_passes
+            )
+
+        budgets = [2_000, 20_000, 200_000, 2_000_000]
+        values = [traffic(b) for b in budgets]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            choose_l2_tile(8, 8, 8, 0, 4, 4)
+
+    def test_small_dims_clamped(self):
+        t = choose_l2_tile(3, 5, 7, 10**6, 32, 32)
+        assert (t.tm, t.tk, t.tn) == (3, 5, 7)

@@ -1,0 +1,124 @@
+"""Tests for the beyond-paper extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_decode, ext_online, ext_sparse, ext_suite
+from repro.experiments import iso_area
+from repro.experiments.iso_area import optimal_split
+
+
+class TestIsoArea:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return iso_area.run(sram_fractions=(0.05, 0.2, 0.6))
+
+    def test_pe_sram_tradeoff(self, rows):
+        assert rows[0].num_pes > rows[-1].num_pes
+        assert rows[0].sg_bytes < rows[-1].sg_bytes
+
+    def test_flat_extracts_more_throughput(self, rows):
+        best_unfused, best_flat = optimal_split(rows)
+        assert best_flat.flat_tops > best_unfused.unfused_tops
+
+    def test_flat_util_never_below_unfused(self, rows):
+        for r in rows:
+            assert r.flat_util >= r.unfused_util - 1e-9
+
+    def test_report_renders(self, rows):
+        out = iso_area.format_report(rows)
+        assert "Iso-area" in out and "Throughput-optimal" in out
+
+
+class TestExtOnline:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_online.run(seqs=(512, 16384, 262144))
+
+    def test_online_utilization_n_independent(self, rows):
+        utils = [r.online_util for r in rows]
+        assert max(utils) - min(utils) < 0.05
+
+    def test_online_footprint_constant(self, rows):
+        assert len({r.online_footprint_bytes for r in rows}) == 1
+
+    def test_flat_footprint_explodes(self, rows):
+        footprints = [r.flat_footprint_bytes for r in rows]
+        assert footprints[-1] > 100 * footprints[0]
+
+    def test_report_renders(self, rows):
+        assert "online softmax" in ext_online.format_report(rows)
+
+
+class TestExtSparse:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_sparse.run(seq=16384)
+
+    def test_dense_first_row(self, rows):
+        assert rows[0].density == 1.0
+
+    def test_sparsity_reduces_cycles(self, rows):
+        dense = rows[0]
+        for r in rows[1:]:
+            assert r.base_cycles < dense.base_cycles
+            assert r.flat_cycles < dense.flat_cycles
+
+    def test_flat_speedup_composes_on_sparse_patterns(self, rows):
+        # On the sparse workloads FLAT still wins (section 7).
+        for r in rows[1:]:
+            assert r.flat_speedup > 1.2
+
+    def test_combined_speedup_multiplicative(self, rows):
+        dense = rows[0]
+        sparse = rows[1]
+        combined = dense.base_cycles / sparse.flat_cycles
+        assert combined > (1.0 / sparse.density) * 0.8
+
+    def test_report_renders(self, rows):
+        assert "sparse attention" in ext_sparse.format_report(rows)
+
+
+class TestExtSuite:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_suite.run()
+
+    def test_covers_lra_and_intro_apps(self, rows):
+        names = {r.workload for r in rows}
+        assert any(n.startswith("lra-") for n in names)
+        assert any("summarization" in n for n in names)
+
+    def test_long_sequence_apps_see_large_speedups(self, rows):
+        img = next(r for r in rows if "image-generation" in r.workload)
+        assert img.speedup > 3.0
+
+    def test_flat_never_loses(self, rows):
+        for r in rows:
+            assert r.flat_util >= r.base_util - 1e-9
+
+    def test_report_renders(self, rows):
+        assert "LRA" in ext_suite.format_report(rows)
+
+
+class TestExtDecode:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_decode.run(kv_lens=(2048, 131072))
+
+    def test_decode_is_bandwidth_bound(self, rows):
+        for r in rows:
+            assert r.base_util < 0.05
+            assert r.flat_util < 0.05
+
+    def test_flat_advantage_vanishes(self, rows):
+        """The honest boundary: no quadratic tensor, no FLAT win."""
+        for r in rows:
+            assert r.speedup == pytest.approx(1.0, abs=0.1)
+
+    def test_intermediate_linear_in_kv(self, rows):
+        assert rows[1].intermediate_bytes == pytest.approx(
+            rows[0].intermediate_bytes * (131072 / 2048)
+        )
+
+    def test_report_renders(self, rows):
+        assert "decode" in ext_decode.format_report(rows)

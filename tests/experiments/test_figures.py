@@ -1,0 +1,189 @@
+"""Tests for the figure harnesses (reduced grids for speed)."""
+
+import pytest
+
+from repro.experiments import fig2, fig8, fig9, fig10, fig11, fig12
+from repro.ops.attention import Scope
+
+KB = 1024
+_BUFFERS = (128 * KB, 512 * KB, 64 * 1024 * KB)
+
+
+class TestFig2:
+    def test_report_structure(self):
+        report = fig2.run()
+        names = {p.name for p in report.panel_a}
+        assert {"CONV", "FC"} <= names
+        assert report.la_footprint_bytes > report.sg_bytes  # the overhead
+        assert "Figure 2" in fig2.format_report(report)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return fig8.run(
+            platform="edge", seqs=(512,), scopes=(Scope.LA,),
+            buffer_sizes=_BUFFERS,
+        )
+
+    def test_lineup_present(self, cells):
+        names = {c.dataflow_name for c in cells}
+        assert {"Base", "Base-M", "FLAT-H", "Base-opt", "FLAT-opt"} <= names
+        assert any(n.startswith("FLAT-R") for n in names)
+
+    def test_flat_opt_dominates_base_opt(self, cells):
+        by = {(c.dataflow_name, c.buffer_bytes): c for c in cells}
+        for buf in _BUFFERS:
+            assert (
+                by[("FLAT-opt", buf)].utilization
+                >= by[("Base-opt", buf)].utilization - 1e-9
+            )
+
+    def test_flat_r_reaches_cap_at_default_buffer(self, cells):
+        by = {(c.dataflow_name, c.buffer_bytes): c for c in cells}
+        flat_r_name = next(
+            n for n in {c.dataflow_name for c in cells}
+            if n.startswith("FLAT-R")
+        )
+        assert by[(flat_r_name, 512 * KB)].utilization > 0.9
+
+    def test_report_renders(self, cells):
+        out = fig8.format_report(cells, platform="edge")
+        assert "scope=L-A" in out and "Base-opt" in out
+
+
+class TestFig9:
+    def test_normalization(self):
+        cells = fig9.run(
+            platform="edge", seqs=(512,), scopes=(Scope.LA,),
+            buffer_sizes=_BUFFERS, include_dse=False,
+        )
+        assert max(c.normalized_energy for c in cells) == pytest.approx(1.0)
+        assert all(0 < c.normalized_energy <= 1.0 for c in cells)
+
+    def test_flat_energy_below_base(self):
+        cells = fig9.run(
+            platform="edge", seqs=(512,), scopes=(Scope.LA,),
+            buffer_sizes=(512 * KB,), include_dse=False,
+        )
+        by = {c.dataflow_name: c for c in cells}
+        assert by["FLAT-H"].energy_j < by["Base-H"].energy_j
+        assert by["FLAT-B"].energy_j < by["Base-B"].energy_j
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def space(self):
+        return fig10.run(row_choices=(8, 64, 256),
+                         exhaustive_staging=False)
+
+    def test_front_marked(self, space):
+        points, result = space
+        front = [p for p in points if p.on_pareto_front]
+        assert front
+        assert len(front) < len(points)
+
+    def test_fine_granularity_on_front_at_small_footprint(self, space):
+        points, _ = space
+        front = sorted(
+            (p for p in points if p.on_pareto_front),
+            key=lambda p: p.footprint_bytes,
+        )
+        high_util_small = [
+            p for p in front
+            if p.utilization > 0.9 and p.footprint_bytes < 1024 * KB
+        ]
+        assert high_util_small  # the paper's top-left corner exists
+        assert any(p.granularity == "R" for p in high_util_small)
+
+    def test_report_renders(self, space):
+        points, result = space
+        out = fig10.format_report(points, result)
+        assert "Pareto front" in out
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig11.run(platform="edge", seqs=(512, 4096))
+
+    def test_three_accelerators(self, rows):
+        assert {r.accelerator for r in rows} == {
+            "BaseAccel", "FlexAccel", "ATTACC"
+        }
+
+    def test_projection_fc_shared_between_flex_and_attacc(self, rows):
+        for seq in (512, 4096):
+            flex = next(r for r in rows
+                        if r.seq == seq and r.accelerator == "FlexAccel")
+            att = next(r for r in rows
+                       if r.seq == seq and r.accelerator == "ATTACC")
+            assert att.projection_cycles == pytest.approx(
+                flex.projection_cycles
+            )
+            assert att.fc_cycles == pytest.approx(flex.fc_cycles)
+            # The gap, if any, is entirely in L-A.
+            assert att.la_cycles <= flex.la_cycles + 1e-6
+
+    def test_la_dominance_grows_with_n(self, rows):
+        def la_share(seq, accel="BaseAccel"):
+            r = next(x for x in rows
+                     if x.seq == seq and x.accelerator == accel)
+            return r.la_cycles / r.total_cycles
+
+        assert la_share(4096) > la_share(512)
+
+    def test_total_at_least_ideal(self, rows):
+        for r in rows:
+            assert r.total_cycles >= r.ideal_cycles * 0.999
+
+    def test_report_renders(self, rows):
+        assert "Figure 11" in fig11.format_report(rows)
+
+
+class TestFig12:
+    def test_speedup_grid_sanity(self):
+        rows = fig12.run_speedup_grid(
+            platforms=("cloud",), models=("bert",), seqs=(4096, 65536),
+        )
+        assert all(r.speedup_vs_flex >= 1.0 - 1e-9 for r in rows)
+        assert all(r.speedup_vs_flex_m >= r.speedup_vs_flex - 1e-9
+                   for r in rows)
+        assert all(0 < r.energy_ratio_vs_flex <= 1.0 + 1e-9 for r in rows)
+
+    def test_averages(self):
+        rows = fig12.run_speedup_grid(
+            platforms=("cloud",), models=("bert",), seqs=(4096,),
+        )
+        avg = fig12.averages(rows, "cloud")
+        assert avg[0] == rows[0].speedup_vs_flex_m
+        with pytest.raises(ValueError):
+            fig12.averages(rows, "edge")
+
+    def test_bw_requirement_attacc_below_baselines(self):
+        rows = fig12.run_bw_requirement(seqs=(32768,))
+        by = {r.accelerator: r for r in rows}
+        att = by["ATTACC"].required_gbps
+        flex = by["FlexAccel"].required_gbps
+        assert att is not None
+        # FlexAccel either needs far more BW or cannot reach the target.
+        assert flex is None or flex > 5 * att
+
+    def test_bw_requirement_u_shape(self):
+        rows = fig12.run_bw_requirement(
+            seqs=(2048, 8192, 131072),
+            policies=(fig12.attacc(),),
+        )
+        values = [r.required_gbps for r in rows]
+        assert all(v is not None for v in values)
+        # Falls to the 4K-8K minimum, then rises (paper section 6.5.2).
+        assert values[1] < values[0]
+        assert values[2] > values[1]
+
+    def test_reports_render(self):
+        rows = fig12.run_speedup_grid(
+            platforms=("cloud",), models=("bert",), seqs=(4096,),
+        )
+        assert "Figure 12(a)" in fig12.format_speedup_report(rows)
+        bw = fig12.run_bw_requirement(seqs=(8192,))
+        assert "Figure 12(b)" in fig12.format_bw_report(bw)

@@ -1,0 +1,52 @@
+"""Tests for the SVG figure renderers."""
+
+import pytest
+
+from repro.experiments import figures_svg
+
+
+class TestFig8Chart:
+    def test_builds_with_all_series(self):
+        chart = figures_svg.fig8_chart("edge", 512)
+        names = {s.name for s in chart.series}
+        assert "Base" in names and "FLAT-opt" in names
+        svg = chart.to_svg()
+        assert svg.startswith("<svg") and "polyline" in svg
+
+
+class TestFig10Chart:
+    def test_granularity_series(self):
+        chart = figures_svg.fig10_chart()
+        names = {s.name for s in chart.series}
+        assert "R-Gran" in names
+        assert chart.log_x
+        assert "</svg>" in chart.to_svg()
+
+
+class TestFig12bChart:
+    def test_skips_unreachable_points(self):
+        chart = figures_svg.fig12b_chart(seqs=(8192, 32768))
+        # ATTACC always present; baselines may drop unreachable points
+        # but never produce empty series.
+        names = {s.name for s in chart.series}
+        assert "ATTACC" in names
+        for s in chart.series:
+            assert s.points
+
+    def test_log_log(self):
+        chart = figures_svg.fig12b_chart(seqs=(8192,))
+        assert chart.log_x and chart.log_y
+
+
+class TestRenderAll:
+    def test_writes_all_figures(self, tmp_path):
+        paths = figures_svg.render_all(str(tmp_path))
+        assert len(paths) == 4
+        for p in paths:
+            with open(p) as f:
+                assert f.read(4) == "<svg"
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "figs"
+        paths = figures_svg.render_all(str(target))
+        assert target.exists() and paths

@@ -1,0 +1,57 @@
+"""Tests for the quantization and batch-lever extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_batch, ext_quant
+
+
+class TestExtQuant:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_quant.run()
+
+    def test_precisions_covered(self, rows):
+        assert [r.bits for r in rows] == [16, 8]
+
+    def test_quantization_lifts_the_baseline(self, rows):
+        r16, r8 = rows
+        assert r8.base_util > 1.5 * r16.base_util
+
+    def test_flat_advantage_persists_at_both_precisions(self, rows):
+        for r in rows:
+            assert r.flat_speedup > 1.5
+
+    def test_footprint_halves(self, rows):
+        r16, r8 = rows
+        assert r8.flat_footprint_bytes == pytest.approx(
+            r16.flat_footprint_bytes / 2, rel=0.05
+        )
+
+    def test_rejects_non_byte_widths(self):
+        with pytest.raises(ValueError):
+            ext_quant.run(widths=(12,))
+
+    def test_report_renders(self, rows):
+        assert "quantization" in ext_quant.format_report(rows)
+
+
+class TestExtBatch:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_batch.run(batches=(1, 16, 256))
+
+    def test_projections_rise_with_batch(self, rows):
+        utils = [r.projection_util for r in rows]
+        assert utils == sorted(utils)
+        assert utils[-1] > 1.5 * utils[0]
+
+    def test_la_flat_in_batch(self, rows):
+        """Section 2.2: batching cannot raise L/A utilization."""
+        la = [r.la_util for r in rows]
+        assert max(la) - min(la) < 0.05
+
+    def test_projections_end_near_peak(self, rows):
+        assert rows[-1].projection_util > 0.95
+
+    def test_report_renders(self, rows):
+        assert "batch-size lever" in ext_batch.format_report(rows)

@@ -1,0 +1,59 @@
+"""Tests for the Table 1 and Table 2 harnesses."""
+
+from repro.experiments import table1, table2
+
+
+class TestTable1:
+    def test_paper_grid_cells(self):
+        rows = {(r.heads, r.seq): r for r in table1.run()}
+        mb = 1024 * 1024
+        # Paper cells (D=1024, 16-bit).
+        assert rows[(1, 512)].qkvo_bytes == 4 * mb
+        assert rows[(1, 512)].la_bytes == int(2.5 * mb)
+        assert rows[(16, 512)].la_bytes == 10 * mb
+        assert rows[(1, 2048)].la_bytes == 16 * mb
+
+    def test_qkvo_head_independent(self):
+        rows = {(r.heads, r.seq): r for r in table1.run()}
+        for seq in (512, 2048, 14336):
+            assert rows[(1, seq)].qkvo_bytes == rows[(16, seq)].qkvo_bytes
+
+    def test_la_explodes_with_heads_and_length(self):
+        rows = {(r.heads, r.seq): r for r in table1.run()}
+        assert rows[(16, 14336)].la_bytes > 6 * 1024 ** 3  # ~6.2 GB
+
+    def test_report_renders(self):
+        out = table1.format_report(table1.run())
+        assert "K/Q/V/O" in out and "L/A" in out
+
+
+class TestTable2:
+    def test_closed_forms_match_breakdown(self):
+        for row in table2.run():
+            assert row.consistent, row.granularity
+
+    def test_granularity_ordering(self):
+        rows = {r.granularity: r for r in table2.run()}
+        assert (
+            rows["M-Gran"].closed_form_elements
+            > rows["B-Gran"].closed_form_elements
+            > rows["H-Gran"].closed_form_elements
+            > rows["R-Gran"].closed_form_elements
+        )
+
+    def test_r_gran_linear_scaling(self):
+        small = {r.granularity: r for r in table2.run(seq=1024)}
+        big = {r.granularity: r for r in table2.run(seq=4096)}
+        r_ratio = (
+            big["R-Gran"].closed_form_elements
+            / small["R-Gran"].closed_form_elements
+        )
+        h_ratio = (
+            big["H-Gran"].closed_form_elements
+            / small["H-Gran"].closed_form_elements
+        )
+        assert r_ratio < 4.5 < h_ratio  # O(N) vs O(N^2)
+
+    def test_report_flags_consistency(self):
+        out = table2.format_report(table2.run())
+        assert "NO" not in out

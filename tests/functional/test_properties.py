@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the functional substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import Granularity
+from repro.functional.fused import flat_attention, flat_attention_online
+from repro.functional.reference import AttentionInputs, reference_attention
+from repro.functional.softmax import softmax
+
+dims = st.integers(min_value=1, max_value=12)
+seqs = st.integers(min_value=1, max_value=20)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=dims, heads=dims, seq_q=seqs, seq_kv=seqs,
+    d=st.integers(min_value=1, max_value=8),
+    rows=st.integers(min_value=1, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_row_granularity_always_matches_reference(
+    batch, heads, seq_q, seq_kv, d, rows, seed
+):
+    """FLAT's row-granular schedule is exact for every shape."""
+    x = AttentionInputs.random(batch, heads, seq_q, seq_kv, d, seed=seed)
+    expected = reference_attention(x)
+    got = flat_attention(x, granularity=Granularity.R, rows=rows).output
+    np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-11)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seq=st.integers(min_value=2, max_value=24),
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_online_softmax_always_matches_reference(seq, rows, cols, seed):
+    """The streaming-softmax extension is exact for every tiling."""
+    x = AttentionInputs.random(1, 2, seq, seq, 4, seed=seed)
+    expected = reference_attention(x)
+    got = flat_attention_online(x, rows=rows, cols=cols).output
+    np.testing.assert_allclose(got, expected, rtol=1e-8, atol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+    shift=st.floats(min_value=-50, max_value=50, allow_nan=False),
+)
+def test_softmax_shift_invariance_and_normalization(rows, cols, seed, shift):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols))
+    s = softmax(x)
+    np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-10)
+    assert np.all(s >= 0)
+    np.testing.assert_allclose(s, softmax(x + shift), rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seq=st.integers(min_value=1, max_value=16),
+    rows=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_fused_traffic_invariants(seq, rows, seed):
+    """Every fused run reads inputs exactly once and writes outputs once."""
+    x = AttentionInputs.random(2, 2, seq, seq, 4, seed=seed)
+    result = flat_attention(x, granularity=Granularity.R, rows=rows)
+    t = result.traffic
+    assert t.offchip_read_elements == x.q.size + x.k.size + x.v.size
+    assert t.offchip_write_elements == result.output.size
+    assert t.onchip_intermediate_elements == 2 * 2 * seq * seq

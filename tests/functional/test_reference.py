@@ -1,0 +1,70 @@
+"""Unit tests for the reference attention implementation."""
+
+import numpy as np
+import pytest
+
+from repro.functional.reference import (
+    AttentionInputs,
+    reference_attention,
+    reference_logits,
+)
+from repro.functional.softmax import softmax
+
+
+class TestAttentionInputs:
+    def test_random_shapes(self):
+        x = AttentionInputs.random(2, 3, 5, 7, 4)
+        assert x.batch == 2 and x.heads == 3
+        assert x.seq_q == 5 and x.seq_kv == 7 and x.d_head == 4
+
+    def test_default_scale(self):
+        x = AttentionInputs.random(1, 1, 2, 2, 16)
+        assert x.effective_scale == pytest.approx(0.25)
+
+    def test_explicit_scale(self):
+        x = AttentionInputs.random(1, 1, 2, 2, 16)
+        y = AttentionInputs(q=x.q, k=x.k, v=x.v, scale=1.0)
+        assert y.effective_scale == 1.0
+
+    def test_causal_mask_requires_square(self):
+        with pytest.raises(ValueError):
+            AttentionInputs.random(1, 1, 4, 8, 2, causal_mask=True)
+
+    def test_shape_validation(self):
+        x = AttentionInputs.random(1, 2, 4, 4, 2)
+        with pytest.raises(ValueError):
+            AttentionInputs(q=x.q, k=x.k[:, :1], v=x.v)
+        with pytest.raises(ValueError):
+            AttentionInputs(q=x.q, k=x.k, v=x.v[:, :, :2])
+
+
+class TestReferenceAttention:
+    def test_logits_shape(self):
+        x = AttentionInputs.random(2, 3, 5, 7, 4)
+        assert reference_logits(x).shape == (2, 3, 5, 7)
+
+    def test_output_shape(self):
+        x = AttentionInputs.random(2, 3, 5, 7, 4)
+        assert reference_attention(x).shape == (2, 3, 5, 4)
+
+    def test_uniform_logits_average_values(self):
+        # Identical keys -> uniform attention -> output is mean of V rows.
+        q = np.ones((1, 1, 2, 4))
+        k = np.ones((1, 1, 6, 4))
+        v = np.arange(24, dtype=float).reshape(1, 1, 6, 4)
+        x = AttentionInputs(q=q, k=k, v=v)
+        out = reference_attention(x)
+        np.testing.assert_allclose(out[0, 0, 0], v[0, 0].mean(axis=0))
+
+    def test_causal_first_token_attends_only_itself(self):
+        x = AttentionInputs.random(1, 1, 6, 6, 4, causal_mask=True)
+        out = reference_attention(x)
+        np.testing.assert_allclose(out[0, 0, 0], x.v[0, 0, 0], rtol=1e-12)
+
+    def test_matches_manual_einsum(self):
+        x = AttentionInputs.random(2, 2, 4, 4, 3, seed=9)
+        logits = (
+            np.einsum("bhqd,bhkd->bhqk", x.q, x.k) * x.effective_scale
+        )
+        expected = np.einsum("bhqk,bhkd->bhqd", softmax(logits), x.v)
+        np.testing.assert_allclose(reference_attention(x), expected)

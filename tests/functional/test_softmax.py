@@ -1,0 +1,99 @@
+"""Unit tests for softmax kernels."""
+
+import numpy as np
+import pytest
+
+from repro.functional.softmax import (
+    OnlineSoftmaxState,
+    row_block_softmax,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 16))
+        s = softmax(x)
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_invariant_to_row_shift(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-12)
+
+    def test_numerically_stable_at_large_magnitudes(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        s = softmax(x)
+        assert np.all(np.isfinite(s))
+        np.testing.assert_allclose(s[0, :2], 0.5, rtol=1e-12)
+
+    def test_handles_neg_inf_mask_values(self):
+        x = np.array([[0.0, -np.inf, 0.0]])
+        s = softmax(x)
+        np.testing.assert_allclose(s[0], [0.5, 0.0, 0.5])
+
+    def test_axis_argument(self):
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        np.testing.assert_allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+
+class TestRowBlockSoftmax:
+    def test_matches_full_softmax_slices(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((32, 64))
+        full = softmax(x)
+        for start in range(0, 32, 8):
+            block = row_block_softmax(x[start:start + 8])
+            np.testing.assert_array_equal(block, full[start:start + 8])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            row_block_softmax(np.zeros((2, 3, 4)))
+
+
+class TestOnlineSoftmax:
+    def test_matches_reference_over_tiles(self):
+        rng = np.random.default_rng(3)
+        rows, n, d = 4, 64, 8
+        logits = rng.standard_normal((rows, n))
+        v = rng.standard_normal((n, d))
+        expected = softmax(logits) @ v
+        state = OnlineSoftmaxState(rows=rows, d_head=d)
+        for start in range(0, n, 16):
+            state.update(logits[:, start:start + 16], v[start:start + 16])
+        np.testing.assert_allclose(state.output(), expected, rtol=1e-10)
+
+    def test_single_tile_equals_direct(self):
+        rng = np.random.default_rng(4)
+        logits = rng.standard_normal((3, 10))
+        v = rng.standard_normal((10, 5))
+        state = OnlineSoftmaxState(rows=3, d_head=5)
+        state.update(logits, v)
+        np.testing.assert_allclose(
+            state.output(), softmax(logits) @ v, rtol=1e-12
+        )
+
+    def test_tile_order_invariance_of_result(self):
+        rng = np.random.default_rng(5)
+        logits = rng.standard_normal((2, 32))
+        v = rng.standard_normal((32, 4))
+        a = OnlineSoftmaxState(rows=2, d_head=4)
+        for s in range(0, 32, 8):
+            a.update(logits[:, s:s + 8], v[s:s + 8])
+        b = OnlineSoftmaxState(rows=2, d_head=4)
+        for s in (16, 0, 24, 8):
+            b.update(logits[:, s:s + 8], v[s:s + 8])
+        np.testing.assert_allclose(a.output(), b.output(), rtol=1e-10)
+
+    def test_output_before_update_raises(self):
+        state = OnlineSoftmaxState(rows=2, d_head=2)
+        with pytest.raises(RuntimeError):
+            state.output()
+
+    def test_shape_validation(self):
+        state = OnlineSoftmaxState(rows=2, d_head=2)
+        with pytest.raises(ValueError):
+            state.update(np.zeros((3, 4)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            state.update(np.zeros((2, 4)), np.zeros((5, 2)))

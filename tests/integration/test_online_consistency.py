@@ -1,0 +1,59 @@
+"""Cross-layer consistency for the online-softmax extension.
+
+The column-tiled cost model (:mod:`repro.core.online`) and the
+column-tiled functional executor
+(:func:`repro.functional.fused.flat_attention_online`) describe the same
+schedule; their off-chip element counts must agree exactly.
+"""
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core.online import OnlineDataflow, cost_online_la
+from repro.functional.fused import flat_attention_online
+from repro.functional.reference import AttentionInputs
+from repro.ops.attention import AttentionConfig
+
+_EDGE = edge()
+
+
+def make_pair(batch=2, heads=2, seq=64, d_head=8):
+    cfg = AttentionConfig(
+        "online-x", batch=batch, heads=heads, d_model=heads * d_head,
+        seq_q=seq, seq_kv=seq, d_ff=4 * heads * d_head,
+    )
+    x = AttentionInputs.random(batch, heads, seq, seq, d_head, seed=3)
+    return cfg, x
+
+
+class TestOnlineTrafficConsistency:
+    @pytest.mark.parametrize("rows,cols", [(8, 16), (16, 16), (32, 8)])
+    def test_model_matches_ledger(self, rows, cols):
+        cfg, x = make_pair()
+        cost = cost_online_la(cfg, OnlineDataflow(rows=rows, cols=cols),
+                              _EDGE)
+        ledger = flat_attention_online(x, rows=rows, cols=cols).traffic
+        model_elements = cost.dram_bytes / _EDGE.bytes_per_element
+        assert model_elements == pytest.approx(
+            ledger.total_offchip_elements, rel=1e-9
+        )
+
+    def test_kv_rereads_scale_with_row_blocks(self):
+        cfg, x = make_pair(seq=64)
+        few = flat_attention_online(x, rows=32, cols=16).traffic
+        many = flat_attention_online(x, rows=8, cols=16).traffic
+        # 8 row blocks vs 2: K/V re-read 4x more.
+        kv = cfg.batch * cfg.heads * cfg.seq_kv * cfg.d_head
+        q = cfg.batch * cfg.heads * cfg.seq_q * cfg.d_head
+        assert few.offchip_read_elements == q + 2 * 2 * kv
+        assert many.offchip_read_elements == q + 8 * 2 * kv
+
+    def test_intermediate_stays_on_chip_in_both_layers(self):
+        # N >> d so the O(N^2) term would dominate if it existed.
+        cfg, x = make_pair(seq=512)
+        ledger = flat_attention_online(x, rows=64, cols=32).traffic
+        logit_elems = cfg.batch * cfg.heads * cfg.seq_q * cfg.seq_kv
+        assert ledger.onchip_intermediate_elements == logit_elems
+        cost = cost_online_la(cfg, OnlineDataflow(rows=64, cols=32), _EDGE)
+        # Model off-chip words exclude any quadratic term.
+        assert cost.dram_bytes / _EDGE.bytes_per_element < logit_elems

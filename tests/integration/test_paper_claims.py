@@ -1,0 +1,140 @@
+"""End-to-end assertions of the paper's headline claims.
+
+Each test corresponds to a sentence of the paper's abstract, intro or
+evaluation, checked on the full stack (model zoo -> dataflow -> DSE ->
+cost model).  These are the claims EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.arch.presets import cloud, edge
+from repro.core.configs import attacc, flex_accel, flex_accel_m
+from repro.core.dataflow import base, flat_r
+from repro.core.footprint import footprint_h_gran, footprint_r_gran
+from repro.core.perf import cost_la_pair
+from repro.experiments.fig12 import required_bandwidth
+from repro.models.configs import model_config
+from repro.ops.attention import Scope
+
+
+class TestQuadraticBottleneck:
+    """'Operators in attention layers exhibit limited reuse and
+    quadratic growth in memory footprint.'"""
+
+    def test_baseline_footprint_quadratic_flat_linear(self):
+        for n1, n2 in ((1024, 4096), (4096, 16384)):
+            h1, h2 = footprint_h_gran(n1, 64), footprint_h_gran(n2, 64)
+            r1, r2 = footprint_r_gran(64, n1, 64), footprint_r_gran(64, n2, 64)
+            assert h2 / h1 > 10       # ~O(N^2)
+            assert r2 / r1 < 4.5      # ~O(N)
+
+    def test_bw_requirement_quote(self):
+        """'A state-of-the-art datacenter-class accelerator with a BW of
+        400 GB/s can run a max sequence length of 4K before failing to
+        maintain 80% compute utilization.'"""
+        accel = cloud()
+        util_4k = flex_accel().evaluate(
+            model_config("xlm", seq=4096), accel, scope=Scope.LA
+        ).utilization
+        util_16k = flex_accel().evaluate(
+            model_config("xlm", seq=16384), accel, scope=Scope.LA
+        ).utilization
+        # Around 4K the baseline still does well; by 16K it has failed
+        # the 80% bar decisively.
+        assert util_4k > 2 * util_16k
+        assert util_16k < 0.8
+
+
+class TestFlatScaling:
+    """'This allows FLAT to easily scale to large sequence lengths
+    without becoming memory bound.'"""
+
+    @pytest.mark.parametrize("seq", [512, 4096, 65536])
+    def test_flat_utilization_stable_across_n(self, seq):
+        # Buffer sized so the R-gran staging fits, as in the Figure 8
+        # sweep's cap region.
+        accel = edge().with_scratchpad_bytes(512 * 1024 * 1024)
+        cfg = model_config("bert", seq=seq)
+        cost = cost_la_pair(cfg, flat_r(min(256, seq)), accel)
+        assert cost.utilization > 0.9
+
+    def test_base_cannot_scale_even_with_big_buffer(self):
+        accel = edge().with_scratchpad_bytes(512 * 1024 * 1024)
+        cfg = model_config("bert", seq=65536)
+        cost = cost_la_pair(cfg, base(), accel)
+        assert cost.utilization < 0.7
+
+
+class TestHeadlineSpeedups:
+    """'ATTACC achieves 1.94x and 1.76x speedup ... comparing to
+    state-of-the-art edge and cloud accelerators.'  (We assert the
+    direction and a cloud factor; see EXPERIMENTS.md for the edge
+    deviation.)"""
+
+    def test_cloud_speedup_over_flexaccel(self):
+        accel = cloud()
+        cfg = model_config("xlm", seq=16384)
+        flex = flex_accel().evaluate(cfg, accel, scope=Scope.MODEL)
+        att = attacc().evaluate(cfg, accel, scope=Scope.MODEL)
+        assert flex.cost.total_cycles / att.cost.total_cycles > 1.7
+
+    def test_edge_speedup_never_negative(self):
+        accel = edge()
+        for seq in (512, 4096, 65536):
+            cfg = model_config("bert", seq=seq)
+            flex = flex_accel().evaluate(cfg, accel, scope=Scope.MODEL)
+            att = attacc().evaluate(cfg, accel, scope=Scope.MODEL)
+            assert att.cost.total_cycles <= flex.cost.total_cycles * (1 + 1e-9)
+
+    def test_cloud_energy_saving(self):
+        accel = cloud()
+        cfg = model_config("bert", seq=16384)
+        flex_m = flex_accel_m().evaluate(cfg, accel, scope=Scope.MODEL)
+        att = attacc().evaluate(cfg, accel, scope=Scope.MODEL)
+        assert att.energy.total_j < 0.7 * flex_m.energy.total_j
+
+
+class TestBandwidthReduction:
+    """'ATTACC reduces the off-chip BW requirement by 88% and 82%
+    against FlexAccel-M and FlexAccel on average' (cloud)."""
+
+    def test_midrange_bw_reduction(self):
+        accel = cloud()
+        cfg = model_config("xlm", seq=8192)
+        att_bw = required_bandwidth(attacc(), accel, cfg, max_gbps=50_000)
+        flex_bw = required_bandwidth(
+            flex_accel(), accel, cfg, max_gbps=50_000
+        )
+        assert att_bw is not None and flex_bw is not None
+        assert 1.0 - att_bw / flex_bw > 0.8
+
+    def test_u_shape_minimum_near_8k(self):
+        accel = cloud()
+        reqs = {}
+        for seq in (2048, 8192, 131072):
+            cfg = model_config("xlm", seq=seq)
+            reqs[seq] = required_bandwidth(
+                attacc(), accel, cfg, max_gbps=50_000
+            )
+        assert reqs[8192] < reqs[2048]
+        assert reqs[8192] < reqs[131072]
+
+
+class TestEnergyStory:
+    """'FLAT does not change the total computations or the total buffer
+    accesses to SG; what it changes is the number of off-chip
+    accesses.'"""
+
+    def test_macs_identical_dram_reduced(self):
+        accel = edge()
+        cfg = model_config("bert", seq=4096)
+        b = cost_la_pair(cfg, base(), accel)
+        f = cost_la_pair(cfg, flat_r(64), accel)
+        assert b.counts.macs == f.counts.macs
+        assert f.counts.dram_words < b.counts.dram_words
+        # The saved words are dominated by the O(N^2) logit movement
+        # (FLAT gives back a little through K/V re-streaming when its
+        # staging tiles exceed the 512 KB edge buffer).
+        saved = b.counts.dram_words - f.counts.dram_words
+        logit_elems = cfg.batch * cfg.heads * cfg.seq_q * cfg.seq_kv
+        assert saved > 1.4 * logit_elems

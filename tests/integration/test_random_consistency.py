@@ -1,0 +1,60 @@
+"""Hypothesis cross-layer consistency: functional ledger vs cost model.
+
+Randomized version of ``test_traffic_consistency``: for arbitrary small
+workloads in the fully staged, fitting regime, the cost model's DRAM
+word count must equal the functional executor's element ledger exactly.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import edge
+from repro.core.dataflow import Granularity, flat_r
+from repro.core.footprint import fused_la_footprint
+from repro.core.perf import cost_la_pair
+from repro.functional.fused import flat_attention
+from repro.functional.reference import AttentionInputs
+from repro.ops.attention import AttentionConfig
+
+_EDGE = edge()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=3),
+    heads=st.integers(min_value=1, max_value=4),
+    seq=st.sampled_from([16, 32, 64, 96]),
+    d_head=st.sampled_from([4, 8, 16]),
+    rows=st.sampled_from([4, 8, 16, 32]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_model_traffic_equals_functional_ledger(
+    batch, heads, seq, d_head, rows, seed
+):
+    cfg = AttentionConfig(
+        "rand", batch=batch, heads=heads, d_model=heads * d_head,
+        seq_q=seq, seq_kv=seq, d_ff=4 * heads * d_head,
+    )
+    dataflow = flat_r(rows)
+    # Only the fitting regime is exact; skip spilling samples.
+    footprint = fused_la_footprint(cfg, dataflow).total_bytes(
+        _EDGE.bytes_per_element
+    )
+    assume(footprint < _EDGE.sg_bytes // 2)
+
+    cost = cost_la_pair(cfg, dataflow, _EDGE)
+    inputs = AttentionInputs.random(batch, heads, seq, seq, d_head,
+                                    seed=seed)
+    ledger = flat_attention(
+        inputs, granularity=Granularity.R, rows=rows
+    ).traffic
+
+    model_elements = cost.dram_bytes / _EDGE.bytes_per_element
+    assert model_elements == pytest.approx(
+        ledger.total_offchip_elements, rel=1e-9
+    )
+    # And the intermediate never leaves the chip in either layer.
+    assert cost.counts.dram_words == pytest.approx(
+        ledger.total_offchip_elements, rel=1e-9
+    )

@@ -1,0 +1,73 @@
+"""Unit tests for the operator graph and fusion legality."""
+
+import pytest
+
+from repro.ops.attention import build_attention_block
+from repro.ops.graph import OperatorGraph, check_fusion_legality
+from repro.ops.operator import GemmOperator, OperatorKind
+
+
+@pytest.fixture
+def graph(small_cfg):
+    return OperatorGraph(build_attention_block(small_cfg))
+
+
+class TestGraphStructure:
+    def test_contains(self, graph):
+        assert OperatorKind.LOGIT in graph
+        assert OperatorKind.ATTEND in graph
+
+    def test_logit_predecessors(self, graph):
+        preds = {op.kind for op in graph.predecessors(OperatorKind.LOGIT)}
+        assert preds == {OperatorKind.QUERY, OperatorKind.KEY}
+
+    def test_attend_predecessors(self, graph):
+        preds = {op.kind for op in graph.predecessors(OperatorKind.ATTEND)}
+        assert preds == {OperatorKind.LOGIT, OperatorKind.VALUE}
+
+    def test_topological_order_valid(self, graph):
+        order = [op.kind for op in graph.topological_order()]
+        assert len(order) == 8
+        # Every producer precedes its consumer.
+        for src, dst in [
+            (OperatorKind.QUERY, OperatorKind.LOGIT),
+            (OperatorKind.LOGIT, OperatorKind.ATTEND),
+            (OperatorKind.ATTEND, OperatorKind.OUTPUT),
+            (OperatorKind.FFN_UP, OperatorKind.FFN_DOWN),
+        ]:
+            assert order.index(src) < order.index(dst)
+
+    def test_duplicate_kind_rejected(self, small_cfg):
+        ops = build_attention_block(small_cfg)
+        with pytest.raises(ValueError):
+            OperatorGraph(ops + [ops[0]])
+
+    def test_intermediate_elements_quadratic_for_logit(self, graph, small_cfg):
+        logit_out = graph.intermediate_elements(OperatorKind.LOGIT)
+        attend_out = graph.intermediate_elements(OperatorKind.ATTEND)
+        n = small_cfg.seq_q
+        assert logit_out == small_cfg.batch * small_cfg.heads * n * n
+        assert attend_out == small_cfg.batch * small_cfg.heads * n * small_cfg.d_head
+        assert logit_out > attend_out  # the quadratic vs linear contrast
+
+
+class TestFusionLegality:
+    def test_logit_attend_fusion_legal(self, graph):
+        legality = check_fusion_legality(
+            graph[OperatorKind.LOGIT], graph[OperatorKind.ATTEND]
+        )
+        assert legality.legal
+        assert legality.min_rows == 1
+
+    def test_other_pairs_illegal(self, graph):
+        legality = check_fusion_legality(
+            graph[OperatorKind.ATTEND], graph[OperatorKind.OUTPUT]
+        )
+        assert not legality.legal
+        assert "quadratic" in legality.reason
+
+    def test_shape_mismatch_illegal(self, small_cfg):
+        logit = GemmOperator.logit("l", 1, 2, 8, 8, 4)
+        attend = GemmOperator.attend("a", 1, 2, 16, 16, 4)
+        legality = check_fusion_legality(logit, attend)
+        assert not legality.legal

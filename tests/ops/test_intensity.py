@@ -1,0 +1,121 @@
+"""Unit tests for operational intensity (paper section 2.2, Table 1)."""
+
+import pytest
+
+from repro.ops.attention import AttentionConfig
+from repro.ops.intensity import (
+    batch_intensity_sweep,
+    la_staging_bytes,
+    logit_attend_intensity,
+    logit_attend_intensity_reciprocal,
+    projection_intensity,
+    projection_intensity_reciprocal,
+    qkvo_staging_bytes,
+)
+
+
+def cfg(batch=4, heads=8, d_model=512, seq=256):
+    return AttentionConfig(
+        "t", batch=batch, heads=heads, d_model=d_model, seq_q=seq,
+        seq_kv=seq, d_ff=4 * d_model,
+    )
+
+
+class TestProjectionIntensity:
+    def test_batching_raises_projection_intensity(self):
+        i1 = projection_intensity(cfg(batch=1)).intensity
+        i64 = projection_intensity(cfg(batch=64)).intensity
+        assert i64 > i1
+
+    def test_reciprocal_matches_formula(self):
+        c = cfg()
+        rec = projection_intensity_reciprocal(c)
+        assert rec == pytest.approx(2 / c.d_model + 1 / (c.batch * c.seq_q))
+
+    def test_exact_counts(self):
+        c = cfg(batch=2, seq=8, d_model=16, heads=2)
+        r = projection_intensity(c)
+        assert r.ops == 2 * 2 * 8 * 16 * 16
+        assert r.weight_accesses == 16 * 16
+        assert r.input_accesses == r.output_accesses == 2 * 8 * 16
+
+
+class TestLogitAttendIntensity:
+    def test_batching_does_not_raise_la_intensity(self):
+        i1 = logit_attend_intensity(cfg(batch=1)).intensity
+        i64 = logit_attend_intensity(cfg(batch=64)).intensity
+        assert i64 == pytest.approx(i1, rel=1e-9)
+
+    def test_more_heads_lower_intensity(self):
+        lo = logit_attend_intensity(cfg(heads=1)).intensity
+        hi = logit_attend_intensity(cfg(heads=16)).intensity
+        assert hi < lo
+
+    def test_longer_sequence_higher_intensity(self):
+        short = logit_attend_intensity(cfg(seq=128)).intensity
+        long = logit_attend_intensity(cfg(seq=4096)).intensity
+        assert long > short
+
+    def test_reciprocal_matches_formula(self):
+        c = cfg()
+        rec = logit_attend_intensity_reciprocal(c)
+        assert rec == pytest.approx(2 / c.seq_kv + c.heads / c.d_model)
+
+    def test_la_below_projection_at_paper_scales(self):
+        c = cfg(batch=64, heads=12, d_model=768, seq=512)
+        assert (
+            logit_attend_intensity(c).intensity
+            < projection_intensity(c).intensity
+        )
+
+
+class TestTable1Staging:
+    """Cross-check against the paper's Table 1 cells (D=1024, 16-bit)."""
+
+    def _cfg(self, heads, seq):
+        return AttentionConfig(
+            "t1", batch=1, heads=heads, d_model=1024, seq_q=seq,
+            seq_kv=seq, d_ff=4096,
+        )
+
+    def test_qkvo_512(self):
+        assert qkvo_staging_bytes(self._cfg(1, 512)) == 4 * 1024 * 1024
+
+    def test_qkvo_independent_of_heads(self):
+        assert qkvo_staging_bytes(self._cfg(1, 512)) == qkvo_staging_bytes(
+            self._cfg(16, 512)
+        )
+
+    def test_la_512_single_head_matches_paper(self):
+        # Paper: 2.5 MB.
+        assert la_staging_bytes(self._cfg(1, 512)) == int(2.5 * 1024 * 1024)
+
+    def test_la_512_multi_head_matches_paper(self):
+        # Paper: 10 MB.
+        assert la_staging_bytes(self._cfg(16, 512)) == 10 * 1024 * 1024
+
+    def test_la_2k_single_head_matches_paper(self):
+        # Paper: 16 MB.
+        assert la_staging_bytes(self._cfg(1, 2048)) == 16 * 1024 * 1024
+
+    def test_la_grows_quadratically(self):
+        b1 = la_staging_bytes(self._cfg(16, 1024))
+        b2 = la_staging_bytes(self._cfg(16, 2048))
+        # Quadratic term dominates at 16 heads: ratio between 3x and 4x.
+        assert 3.0 < b2 / b1 <= 4.0
+
+    def test_qkvo_grows_linearly(self):
+        b1 = qkvo_staging_bytes(self._cfg(1, 1024))
+        b2 = qkvo_staging_bytes(self._cfg(1, 2048))
+        assert b2 / b1 < 2.0  # weight term keeps it sub-linear
+
+
+class TestBatchSweep:
+    def test_sweep_shape_and_monotonicity(self):
+        rows = batch_intensity_sweep(cfg())
+        batches = [r[0] for r in rows]
+        assert batches == sorted(batches)
+        proj = [r[1] for r in rows]
+        la = [r[2] for r in rows]
+        assert all(b >= a for a, b in zip(proj, proj[1:]))
+        assert all(abs(b - a) / a < 1e-9 for a, b in zip(la, la[1:]))

@@ -1,0 +1,93 @@
+"""Unit tests for the GEMM operator IR."""
+
+import pytest
+
+from repro.ops.operator import GemmOperator, OperatorKind
+from repro.ops.tensor import TensorRole, TensorSpec
+
+
+class TestOperatorKind:
+    def test_activation_activation_is_exactly_l_and_a(self):
+        aa = {k for k in OperatorKind if k.is_activation_activation}
+        assert aa == {OperatorKind.LOGIT, OperatorKind.ATTEND}
+
+    def test_projection_kinds(self):
+        proj = {k for k in OperatorKind if k.is_projection}
+        assert proj == {
+            OperatorKind.QUERY, OperatorKind.KEY, OperatorKind.VALUE,
+            OperatorKind.OUTPUT,
+        }
+
+    def test_ffn_kinds(self):
+        ffn = {k for k in OperatorKind if k.is_ffn}
+        assert ffn == {OperatorKind.FFN_UP, OperatorKind.FFN_DOWN}
+
+
+class TestProjection:
+    def test_shapes_and_macs(self):
+        op = GemmOperator.projection(
+            OperatorKind.QUERY, "q", batch=4, seq=128, d_in=64, d_out=64
+        )
+        assert (op.m, op.k, op.n) == (128, 64, 64)
+        assert op.instances == 4
+        assert op.macs == 4 * 128 * 64 * 64
+        assert op.flops == 2 * op.macs
+        assert op.rhs.role is TensorRole.WEIGHT
+
+    def test_min_traffic(self):
+        op = GemmOperator.projection(
+            OperatorKind.KEY, "k", batch=2, seq=8, d_in=4, d_out=4
+        )
+        # in (2*8*4) + weight (4*4) + out (2*8*4)
+        assert op.min_traffic_elements() == 64 + 16 + 64
+        assert op.min_traffic_bytes(2) == 2 * (64 + 16 + 64)
+
+    def test_operational_intensity_positive(self):
+        op = GemmOperator.projection(
+            OperatorKind.OUTPUT, "o", batch=2, seq=8, d_in=4, d_out=4
+        )
+        assert op.operational_intensity() > 0
+
+
+class TestLogitAttend:
+    def test_logit_shape(self):
+        op = GemmOperator.logit("l", batch=2, heads=4, seq_q=16, seq_kv=32,
+                                d_head=8)
+        assert (op.m, op.k, op.n) == (16, 8, 32)
+        assert op.instances == 8
+        assert op.softmax_after
+        assert op.is_activation_activation
+        assert op.out.num_elements == 2 * 4 * 16 * 32
+
+    def test_attend_shape(self):
+        op = GemmOperator.attend("a", batch=2, heads=4, seq_q=16, seq_kv=32,
+                                 d_head=8)
+        assert (op.m, op.k, op.n) == (16, 32, 8)
+        assert not op.softmax_after
+        assert op.lhs.num_elements == 2 * 4 * 16 * 32
+
+    def test_logit_attend_macs_match(self):
+        l = GemmOperator.logit("l", 2, 4, 16, 16, 8)
+        a = GemmOperator.attend("a", 2, 4, 16, 16, 8)
+        assert l.macs == a.macs
+
+    def test_cross_attention_shapes(self):
+        op = GemmOperator.logit("l", batch=1, heads=2, seq_q=8, seq_kv=24,
+                                d_head=4)
+        assert op.m == 8 and op.n == 24
+
+
+class TestValidation:
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            GemmOperator.projection(OperatorKind.QUERY, "q", 1, 0, 4, 4)
+
+    def test_mismatched_tensor_rejected(self):
+        lhs = TensorSpec("x", (2, 3), TensorRole.ACTIVATION)
+        rhs = TensorSpec("w", (3, 4), TensorRole.WEIGHT)
+        bad_out = TensorSpec("y", (2, 5), TensorRole.ACTIVATION)
+        with pytest.raises(ValueError):
+            GemmOperator(
+                kind=OperatorKind.QUERY, name="bad", m=2, k=3, n=4,
+                instances=1, lhs=lhs, rhs=rhs, out=bad_out,
+            )

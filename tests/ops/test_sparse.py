@@ -1,0 +1,95 @@
+"""Unit tests for the sparse-attention patterns and the cost adapter."""
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core.dataflow import base, flat_r
+from repro.core.sparse_adapter import cost_sparse_la, sparse_equivalent_config
+from repro.models.configs import model_config
+from repro.ops.sparse import SparsePatternKind, SparsityPattern
+
+
+class TestPatterns:
+    def test_dense_density_one(self):
+        p = SparsityPattern(SparsePatternKind.DENSE)
+        assert p.density(4096) == 1.0
+        assert p.row_span(4096) == 4096
+
+    def test_local_window_density(self):
+        p = SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=128)
+        assert p.row_span(4096) == 257
+        assert p.density(4096) == pytest.approx(257 / 4096)
+
+    def test_window_clamped_to_seq(self):
+        p = SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=4096)
+        assert p.row_span(512) == 512
+        assert p.density(512) == 1.0
+
+    def test_block_local(self):
+        p = SparsityPattern(SparsePatternKind.BLOCK_LOCAL, window=256)
+        assert p.row_span(4096) == 256
+        assert p.density(4096) == pytest.approx(1 / 16)
+
+    def test_strided_span(self):
+        p = SparsityPattern(SparsePatternKind.STRIDED, window=64)
+        # local block (64) + one column per stride (4096/64 = 64).
+        assert p.row_span(4096) == 128
+
+    def test_density_decreases_with_length_for_local(self):
+        p = SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=64)
+        assert p.density(8192) < p.density(1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=0)
+        with pytest.raises(ValueError):
+            SparsityPattern(SparsePatternKind.DENSE).density(0)
+
+    def test_describe_mentions_kind(self):
+        p = SparsityPattern(SparsePatternKind.BLOCK_LOCAL, window=64)
+        assert "block-local" in p.describe(1024)
+
+
+class TestCostAdapter:
+    def test_equivalent_config_shrinks_kv(self):
+        cfg = model_config("bert", seq=16384)
+        p = SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=256)
+        eq = sparse_equivalent_config(cfg, p)
+        assert eq.seq_kv == 513
+        assert eq.seq_q == cfg.seq_q  # queries untouched
+
+    def test_dense_pattern_is_identity_cost(self):
+        cfg = model_config("bert", seq=2048)
+        accel = edge()
+        p = SparsityPattern(SparsePatternKind.DENSE)
+        direct = cost_sparse_la(cfg, p, flat_r(64), accel)
+        from repro.core.perf import cost_la_pair
+
+        ref = cost_la_pair(cfg, flat_r(64), accel)
+        assert direct.total_cycles == pytest.approx(ref.total_cycles)
+
+    def test_sparsity_cuts_cycles_roughly_by_density(self):
+        cfg = model_config("bert", seq=16384)
+        accel = edge()
+        dense = cost_sparse_la(
+            cfg, SparsityPattern(SparsePatternKind.DENSE), base(), accel
+        )
+        sparse = cost_sparse_la(
+            cfg,
+            SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=1024),
+            base(), accel,
+        )
+        density = SparsityPattern(
+            SparsePatternKind.LOCAL_WINDOW, window=1024
+        ).density(16384)
+        ratio = sparse.total_cycles / dense.total_cycles
+        assert ratio == pytest.approx(density, rel=0.3)
+
+    def test_flat_composes_with_sparsity(self):
+        """FLAT still wins on the sparse workload (section 7's claim)."""
+        cfg = model_config("bert", seq=16384)
+        accel = edge()
+        p = SparsityPattern(SparsePatternKind.LOCAL_WINDOW, window=512)
+        unfused = cost_sparse_la(cfg, p, base(), accel)
+        fused = cost_sparse_la(cfg, p, flat_r(64), accel)
+        assert fused.total_cycles < unfused.total_cycles

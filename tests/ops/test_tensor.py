@@ -1,0 +1,48 @@
+"""Unit tests for the tensor spec."""
+
+import pytest
+
+from repro.ops.tensor import TensorRole, TensorSpec
+
+
+class TestTensorSpec:
+    def test_num_elements(self):
+        t = TensorSpec("t", (2, 3, 4), TensorRole.ACTIVATION)
+        assert t.num_elements == 24
+
+    def test_size_bytes_default_16bit(self):
+        t = TensorSpec("t", (10, 10), TensorRole.WEIGHT)
+        assert t.size_bytes() == 200
+
+    def test_size_bytes_custom_width(self):
+        t = TensorSpec("t", (10,), TensorRole.WEIGHT)
+        assert t.size_bytes(4) == 40
+
+    def test_rank(self):
+        assert TensorSpec("t", (1, 2, 3, 4), TensorRole.WEIGHT).rank == 4
+
+    def test_with_name_preserves_shape_and_role(self):
+        t = TensorSpec("a", (5, 6), TensorRole.WEIGHT)
+        u = t.with_name("b")
+        assert u.name == "b"
+        assert u.dims == t.dims
+        assert u.role is t.role
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (), TensorRole.WEIGHT)
+
+    def test_non_positive_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (4, 0), TensorRole.WEIGHT)
+        with pytest.raises(ValueError):
+            TensorSpec("t", (4, -1), TensorRole.WEIGHT)
+
+    def test_zero_byte_width_rejected(self):
+        t = TensorSpec("t", (4,), TensorRole.WEIGHT)
+        with pytest.raises(ValueError):
+            t.size_bytes(0)
+
+    def test_role_is_weight(self):
+        assert TensorRole.WEIGHT.is_weight
+        assert not TensorRole.ACTIVATION.is_weight

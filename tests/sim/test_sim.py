@@ -1,0 +1,155 @@
+"""Unit tests for the tile-level simulator."""
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core.dataflow import Granularity, StagingPolicy, flat_r, flat_x
+from repro.sim.engine import simulate
+from repro.sim.schedule import TilePass, build_la_schedule
+from repro.ops.attention import AttentionConfig
+
+
+def small_cfg(batch=2, heads=2, seq=128, d_model=128):
+    return AttentionConfig(
+        "sim", batch=batch, heads=heads, d_model=d_model, seq_q=seq,
+        seq_kv=seq, d_ff=4 * d_model,
+    )
+
+
+class TestScheduleBuilder:
+    def test_pass_count(self, edge_accel):
+        cfg = small_cfg()
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        assert len(sched) == cfg.batch * cfg.heads * (cfg.seq_q // 32)
+
+    def test_kv_fetched_once_per_group(self, edge_accel):
+        cfg = small_cfg()
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        row_passes = cfg.seq_q // 32
+        e = edge_accel.bytes_per_element
+        kv_bytes = 2 * cfg.seq_kv * cfg.d_head * e
+        q_bytes = 32 * cfg.d_head * e
+        # First pass of each group carries K and V; later passes only Q.
+        for i, p in enumerate(sched):
+            if i % row_passes == 0:
+                assert p.read_bytes == pytest.approx(q_bytes + kv_bytes)
+            else:
+                assert p.read_bytes == pytest.approx(q_bytes)
+
+    def test_total_reads_equal_cold_traffic(self, edge_accel):
+        cfg = small_cfg()
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        e = edge_accel.bytes_per_element
+        total_reads = sum(p.read_bytes for p in sched)
+        cold = (
+            cfg.batch * cfg.heads
+            * (cfg.seq_q + 2 * cfg.seq_kv) * cfg.d_head * e
+        )
+        assert total_reads == pytest.approx(cold)
+
+    def test_requires_fused(self, edge_accel):
+        from repro.core.dataflow import base
+
+        with pytest.raises(ValueError):
+            build_la_schedule(small_cfg(), base(), edge_accel)
+
+    def test_requires_all_staging(self, edge_accel):
+        df = flat_r(32, staging=StagingPolicy(rhs=False))
+        with pytest.raises(ValueError):
+            build_la_schedule(small_cfg(), df, edge_accel)
+
+    def test_requires_fitting_footprint(self, edge_accel):
+        big = small_cfg(seq=16384)  # R-gran K/V tiles exceed 512 KB
+        with pytest.raises(ValueError):
+            build_la_schedule(big, flat_r(32), edge_accel)
+
+    def test_remainder_rows_handled(self, edge_accel):
+        cfg = small_cfg(seq=100)
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        assert len(sched) == cfg.batch * cfg.heads * 4  # 32+32+32+4
+
+
+class TestEngine:
+    def test_empty_schedule_rejected(self, edge_accel):
+        with pytest.raises(ValueError):
+            simulate([], edge_accel)
+
+    def test_single_pass_time(self, edge_accel):
+        p = TilePass(index=0, read_bytes=5000.0, compute_cycles=1000.0,
+                     softmax_cycles=100.0, write_bytes=500.0)
+        result = simulate([p], edge_accel)
+        bw = edge_accel.offchip_bytes_per_cycle
+        expected = 5000.0 / bw + 1100.0 + 500.0 / bw
+        assert result.total_cycles == pytest.approx(expected)
+
+    def test_compute_bound_pipeline_hides_fetches(self, edge_accel):
+        # Tiny fetches, big compute: total ~ first fetch + N * compute.
+        passes = [
+            TilePass(index=i, read_bytes=50.0, compute_cycles=1000.0,
+                     softmax_cycles=0.0, write_bytes=50.0)
+            for i in range(10)
+        ]
+        result = simulate(passes, edge_accel)
+        assert result.total_cycles == pytest.approx(
+            1.0 + 10 * 1000.0 + 2.0, rel=0.05
+        )
+
+    def test_memory_bound_pipeline_hides_compute(self, edge_accel):
+        passes = [
+            TilePass(index=i, read_bytes=100000.0, compute_cycles=10.0,
+                     softmax_cycles=0.0, write_bytes=0.0)
+            for i in range(10)
+        ]
+        result = simulate(passes, edge_accel)
+        fetch = 100000.0 / edge_accel.offchip_bytes_per_cycle
+        assert result.total_cycles == pytest.approx(10 * fetch + 10.0,
+                                                    rel=0.05)
+
+    def test_timeline_is_consistent(self, edge_accel):
+        cfg = small_cfg()
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        result = simulate(sched, edge_accel)
+        for entry in result.timeline:
+            assert entry.fetch_start <= entry.fetch_end <= entry.exec_end
+        # Execution order preserved.
+        ends = [t.exec_end for t in result.timeline]
+        assert ends == sorted(ends)
+
+    def test_occupancy_bounded(self, edge_accel):
+        cfg = small_cfg()
+        sched = build_la_schedule(cfg, flat_r(32), edge_accel)
+        result = simulate(sched, edge_accel)
+        assert 0.0 < result.compute_occupancy <= 1.0
+
+
+class TestCrossValidation:
+    """The simulator must agree with the closed-form model in the
+    fitting regime — the repository's MAESTRO-correlation substitute."""
+
+    @pytest.mark.parametrize("rows", [16, 32, 64])
+    def test_analytical_matches_sim_r_gran(self, edge_accel, rows):
+        from repro.core.perf import cost_la_pair
+
+        cfg = small_cfg(batch=2, heads=4, seq=256, d_model=256)
+        df = flat_r(rows)
+        sim = simulate(build_la_schedule(cfg, df, edge_accel), edge_accel)
+        ana = cost_la_pair(cfg, df, edge_accel)
+        assert ana.total_cycles == pytest.approx(sim.total_cycles, rel=0.10)
+
+    def test_analytical_matches_sim_h_gran(self, edge_accel):
+        from repro.core.perf import cost_la_pair
+
+        cfg = small_cfg(batch=2, heads=4, seq=128, d_model=128)
+        df = flat_x(Granularity.H)
+        sim = simulate(build_la_schedule(cfg, df, edge_accel), edge_accel)
+        ana = cost_la_pair(cfg, df, edge_accel)
+        assert ana.total_cycles == pytest.approx(sim.total_cycles, rel=0.10)
+
+    def test_sim_dram_bytes_match_analytical(self, edge_accel):
+        from repro.core.perf import cost_la_pair
+
+        cfg = small_cfg(batch=2, heads=4, seq=256, d_model=256)
+        df = flat_r(32)
+        sim = simulate(build_la_schedule(cfg, df, edge_accel), edge_accel)
+        ana = cost_la_pair(cfg, df, edge_accel)
+        assert sim.dram_bytes == pytest.approx(ana.dram_bytes, rel=0.01)

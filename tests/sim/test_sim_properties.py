@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for the tile-level simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import edge
+from repro.sim.engine import simulate
+from repro.sim.schedule import TilePass
+
+_EDGE = edge()
+
+pass_strategy = st.builds(
+    TilePass,
+    index=st.just(0),
+    read_bytes=st.floats(min_value=0, max_value=1e6),
+    compute_cycles=st.floats(min_value=0, max_value=1e5),
+    softmax_cycles=st.floats(min_value=0, max_value=1e4),
+    write_bytes=st.floats(min_value=0, max_value=1e5),
+)
+
+
+def _reindex(passes):
+    return [
+        TilePass(index=i, read_bytes=p.read_bytes,
+                 compute_cycles=p.compute_cycles,
+                 softmax_cycles=p.softmax_cycles,
+                 write_bytes=p.write_bytes)
+        for i, p in enumerate(passes)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(passes=st.lists(pass_strategy, min_size=1, max_size=20))
+def test_total_at_least_any_single_stream(passes):
+    """The pipeline can hide streams behind each other, but never run
+    faster than its compute total or its DRAM total alone."""
+    passes = _reindex(passes)
+    result = simulate(passes, _EDGE)
+    compute_total = sum(p.compute_cycles + p.softmax_cycles for p in passes)
+    dram_total = sum(p.read_bytes + p.write_bytes for p in passes) / \
+        _EDGE.offchip_bytes_per_cycle
+    assert result.total_cycles >= compute_total - 1e-6
+    assert result.total_cycles >= dram_total - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(passes=st.lists(pass_strategy, min_size=1, max_size=20))
+def test_total_at_most_fully_serial(passes):
+    """Overlap can only help: never slower than running every stream
+    back to back."""
+    passes = _reindex(passes)
+    result = simulate(passes, _EDGE)
+    serial = sum(
+        p.compute_cycles + p.softmax_cycles
+        + (p.read_bytes + p.write_bytes) / _EDGE.offchip_bytes_per_cycle
+        for p in passes
+    )
+    assert result.total_cycles <= serial + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    passes=st.lists(pass_strategy, min_size=1, max_size=12),
+    extra=pass_strategy,
+)
+def test_adding_a_pass_never_speeds_things_up(passes, extra):
+    """Appending work can only add time — up to one allowance: the
+    shorter schedule exposes its final writeback at the end, while the
+    longer one may overlap that writeback with the appended pass."""
+    passes = _reindex(passes)
+    longer = _reindex(passes + [extra])
+    writeback_allowance = passes[-1].write_bytes / \
+        _EDGE.offchip_bytes_per_cycle
+    assert simulate(longer, _EDGE).total_cycles >= \
+        simulate(passes, _EDGE).total_cycles - writeback_allowance - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(passes=st.lists(pass_strategy, min_size=1, max_size=12))
+def test_timeline_execution_order_preserved(passes):
+    passes = _reindex(passes)
+    result = simulate(passes, _EDGE)
+    ends = [t.exec_end for t in result.timeline]
+    assert ends == sorted(ends)
+    for entry in result.timeline:
+        assert entry.fetch_start <= entry.fetch_end <= entry.exec_end
+
+
+@settings(max_examples=40, deadline=None)
+@given(passes=st.lists(pass_strategy, min_size=1, max_size=12))
+def test_dram_byte_conservation(passes):
+    passes = _reindex(passes)
+    result = simulate(passes, _EDGE)
+    expected = sum(p.read_bytes + p.write_bytes for p in passes)
+    assert result.dram_bytes == pytest.approx(expected, rel=1e-12)

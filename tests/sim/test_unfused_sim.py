@@ -1,0 +1,73 @@
+"""Cross-validation of the unfused (three-phase) model vs the simulator."""
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core.dataflow import base, flat_r
+from repro.core.perf import cost_la_pair
+from repro.ops.attention import AttentionConfig
+from repro.sim.engine import simulate
+from repro.sim.schedule import build_la_schedule, build_unfused_la_schedule
+
+
+def cfg(batch=2, heads=4, seq=256, d_model=256):
+    return AttentionConfig(
+        "unfused-sim", batch=batch, heads=heads, d_model=d_model,
+        seq_q=seq, seq_kv=seq, d_ff=4 * d_model,
+    )
+
+
+class TestUnfusedSchedule:
+    def test_three_phases_of_passes(self, edge_accel):
+        c = cfg()
+        sched = build_unfused_la_schedule(c, edge_accel)
+        assert len(sched) == 3 * c.batch * c.heads
+
+    def test_logit_round_trip_volumes(self, edge_accel):
+        c = cfg()
+        sched = build_unfused_la_schedule(c, edge_accel)
+        e = edge_accel.bytes_per_element
+        logit_bytes = c.batch * c.heads * c.seq_q * c.seq_kv * e
+        writes = sum(p.write_bytes for p in sched)
+        reads = sum(p.read_bytes for p in sched)
+        # Logits written twice (raw + softmaxed) and read twice.
+        assert writes >= 2 * logit_bytes
+        assert reads >= 2 * logit_bytes
+
+    def test_softmax_passes_have_no_pe_compute(self, edge_accel):
+        c = cfg()
+        sched = build_unfused_la_schedule(c, edge_accel)
+        bh = c.batch * c.heads
+        for p in sched[bh:2 * bh]:
+            assert p.compute_cycles == 0.0
+            assert p.softmax_cycles > 0.0
+
+
+class TestUnfusedCrossValidation:
+    @pytest.mark.parametrize("seq", [128, 256, 512])
+    def test_analytical_within_15pct_and_conservative(self, seq, edge_accel):
+        """The closed-form three-phase model serializes phase
+        boundaries the explicit pipeline can partially overlap, so it
+        may be slower — but never faster, and never off by much."""
+        c = cfg(seq=seq)
+        sim = simulate(build_unfused_la_schedule(c, edge_accel), edge_accel)
+        ana = cost_la_pair(c, base(), edge_accel)
+        assert ana.total_cycles >= sim.total_cycles * 0.97
+        assert ana.total_cycles == pytest.approx(sim.total_cycles, rel=0.15)
+
+    def test_fused_beats_unfused_in_both_layers(self, edge_accel):
+        """The headline gap appears identically in the simulator and
+        the analytical model."""
+        c = cfg()
+        sim_base = simulate(
+            build_unfused_la_schedule(c, edge_accel), edge_accel
+        ).total_cycles
+        sim_flat = simulate(
+            build_la_schedule(c, flat_r(32), edge_accel), edge_accel
+        ).total_cycles
+        ana_base = cost_la_pair(c, base(), edge_accel).total_cycles
+        ana_flat = cost_la_pair(c, flat_r(32), edge_accel).total_cycles
+        sim_speedup = sim_base / sim_flat
+        ana_speedup = ana_base / ana_flat
+        assert sim_speedup > 1.1
+        assert ana_speedup == pytest.approx(sim_speedup, rel=0.2)

@@ -1,0 +1,107 @@
+"""Tests for the LRA suite, JSON export, and simulator trace rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import dumps, to_jsonable
+from repro.arch.presets import edge
+from repro.core.dataflow import flat_r
+from repro.models.lra import (
+    INTRO_APPLICATIONS,
+    LRA_TASKS,
+    intro_application_config,
+    lra_config,
+)
+from repro.ops.attention import AttentionConfig
+from repro.sim.engine import simulate
+from repro.sim.schedule import build_la_schedule
+from repro.sim.trace import occupancy_summary, render_timeline
+
+
+class TestLRASuite:
+    def test_all_tasks_build(self):
+        for task in LRA_TASKS:
+            cfg = lra_config(task)
+            assert cfg.seq_q >= 1024
+            assert cfg.d_model % cfg.heads == 0
+
+    def test_intro_applications_build(self):
+        for name in INTRO_APPLICATIONS:
+            cfg = intro_application_config(name)
+            assert cfg.seq_q >= 12 * 1024
+
+    def test_music_is_the_million_token_case(self):
+        cfg = intro_application_config("music")
+        assert cfg.seq_q == 1024 * 1024
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            lra_config("sudoku")
+        with pytest.raises(ValueError):
+            intro_application_config("weather")
+
+
+class TestJsonExport:
+    def test_dataclass_rows_round_trip(self):
+        from repro.experiments.table1 import run
+
+        rows = run()
+        payload = json.loads(dumps(rows))
+        assert len(payload) == len(rows)
+        assert payload[0]["qkvo_bytes"] == rows[0].qkvo_bytes
+
+    def test_enum_and_nested_structures(self):
+        from repro.core.dataflow import Granularity
+
+        value = {"gran": Granularity.R, "nested": [(1, 2), {"x": 3.5}]}
+        out = to_jsonable(value)
+        assert out == {"gran": "R", "nested": [[1, 2], {"x": 3.5}]}
+
+    def test_numpy_scalars(self):
+        import numpy as np
+
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(7)) == 7
+
+    def test_raw_registry_covers_text_registry(self):
+        from repro.experiments.runner import EXPERIMENTS, RAW_EXPERIMENTS
+
+        assert set(RAW_EXPERIMENTS) == set(EXPERIMENTS)
+
+    def test_cli_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--json", "--quiet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(r["granularity"] == "R-Gran" for r in payload)
+
+
+class TestTraceRendering:
+    @pytest.fixture
+    def result(self):
+        cfg = AttentionConfig(
+            "trace", batch=1, heads=2, d_model=128, seq_q=128, seq_kv=128,
+            d_ff=256,
+        )
+        accel = edge()
+        return simulate(build_la_schedule(cfg, flat_r(32), accel), accel)
+
+    def test_render_has_one_row_per_pass(self, result):
+        out = render_timeline(result, max_passes=6)
+        lines = out.splitlines()
+        assert len(lines) == 1 + min(6, len(result.timeline))
+        assert "pass" in lines[1]
+
+    def test_execution_marks_present(self, result):
+        out = render_timeline(result)
+        assert "X" in out
+        assert "f" in out
+
+    def test_width_validation(self, result):
+        with pytest.raises(ValueError):
+            render_timeline(result, width=5)
+
+    def test_occupancy_summary_mentions_totals(self, result):
+        out = occupancy_summary(result)
+        assert "compute busy" in out and "DRAM busy" in out

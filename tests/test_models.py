@@ -1,0 +1,52 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.models.configs import (
+    MODEL_ZOO,
+    PAPER_BATCH,
+    PAPER_SEQ_LENGTHS,
+    model_config,
+    model_names,
+)
+
+
+class TestZoo:
+    def test_all_five_paper_models_present(self):
+        assert set(MODEL_ZOO) == {"bert", "flaubert", "xlm", "trxl", "t5"}
+
+    def test_model_names_ordering_covers_zoo(self):
+        assert set(model_names()) == set(MODEL_ZOO)
+
+    def test_paper_constants(self):
+        assert PAPER_BATCH == 64
+        assert PAPER_SEQ_LENGTHS == (512, 4096, 16384, 65536, 262144)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_configs_are_valid(self, name):
+        cfg = model_config(name, seq=1024)
+        assert cfg.batch == PAPER_BATCH
+        assert cfg.d_model % cfg.heads == 0
+        assert cfg.seq_q == cfg.seq_kv == 1024
+        assert cfg.num_blocks >= 6
+
+    def test_bert_base_hyperparameters(self):
+        cfg = model_config("bert", seq=512)
+        assert (cfg.d_model, cfg.heads, cfg.d_ff, cfg.num_blocks) == (
+            768, 12, 3072, 12
+        )
+
+    def test_xlm_is_the_wide_model(self):
+        xlm = model_config("xlm", seq=512)
+        assert xlm.d_model == 2048 and xlm.d_head == 128
+
+    def test_custom_batch(self):
+        assert model_config("t5", seq=512, batch=8).batch == 8
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            model_config("gpt5", seq=512)
+
+    def test_invalid_seq_rejected(self):
+        with pytest.raises(ValueError):
+            model_config("bert", seq=0)

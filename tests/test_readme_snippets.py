@@ -1,0 +1,37 @@
+"""Documentation accuracy: the README's code must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[1] / "README.md"
+
+
+def _python_blocks(text: str):
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+class TestReadme:
+    def test_quickstart_snippet_executes(self, capsys):
+        blocks = _python_blocks(README.read_text())
+        assert blocks, "README lost its quickstart snippet"
+        namespace: dict = {}
+        exec(compile(blocks[0], str(README), "exec"), namespace)  # noqa: S102
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_mentioned_cli_experiments_exist(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        text = README.read_text()
+        for name in ("table1", "fig12a", "iso-area", "ext-online",
+                     "ext-sparse", "ext-suite", "ext-decode",
+                     "ext-scaleout", "ext-quant", "ext-batch",
+                     "ext-hierarchy"):
+            assert name in text
+            assert name in EXPERIMENTS
+
+    def test_mentioned_examples_exist(self):
+        text = README.read_text()
+        examples_dir = Path(__file__).resolve().parents[1] / "examples"
+        for match in re.findall(r"examples/(\w+\.py)", text):
+            assert (examples_dir / match).exists(), match

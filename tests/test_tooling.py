@@ -1,0 +1,208 @@
+"""Tests for the tooling layer: config IO, loop nests, SVG, CLI modes."""
+
+import json
+
+import pytest
+
+from repro.arch.config_io import (
+    accelerator_from_dict,
+    accelerator_to_dict,
+    load_accelerator,
+    load_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.arch.presets import cloud, edge
+from repro.cli import main
+from repro.core.dataflow import base, flat_r, parse_dataflow
+from repro.core.loopnest import render_loop_nest
+from repro.models.configs import model_config
+
+
+class TestConfigIO:
+    def test_accelerator_round_trip(self):
+        for ref in (edge(), cloud()):
+            rebuilt = accelerator_from_dict(accelerator_to_dict(ref))
+            assert rebuilt.pe_array.num_pes == ref.pe_array.num_pes
+            assert rebuilt.sg_bytes == ref.sg_bytes
+            assert rebuilt.offchip.bandwidth_bytes_per_sec == \
+                ref.offchip.bandwidth_bytes_per_sec
+            assert rebuilt.noc.kind is ref.noc.kind
+
+    def test_workload_round_trip(self):
+        ref = model_config("xlm", seq=8192)
+        rebuilt = workload_from_dict(workload_to_dict(ref))
+        assert rebuilt == ref
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            accelerator_from_dict({"pe_rows": 8})
+        with pytest.raises(ValueError):
+            workload_from_dict({"batch": 4})
+
+    def test_unknown_noc_rejected(self):
+        spec = accelerator_to_dict(edge())
+        spec["noc"] = "hypercube"
+        with pytest.raises(ValueError):
+            accelerator_from_dict(spec)
+
+    def test_file_loading(self, tmp_path):
+        accel_path = tmp_path / "accel.json"
+        accel_path.write_text(json.dumps(accelerator_to_dict(edge())))
+        wl_path = tmp_path / "wl.json"
+        wl_path.write_text(json.dumps(workload_to_dict(
+            model_config("t5", seq=1024)
+        )))
+        assert load_accelerator(str(accel_path)).sg_bytes == edge().sg_bytes
+        assert load_workload(str(wl_path)).seq_q == 1024
+
+
+class TestParseDataflow:
+    @pytest.mark.parametrize("spec,name", [
+        ("base", "Base"),
+        ("base-m", "Base-M"),
+        ("BASE-H", "Base-H"),
+        ("flat-b", "FLAT-B"),
+        ("flat-r128", "FLAT-R128"),
+    ])
+    def test_valid_specs(self, spec, name):
+        assert parse_dataflow(spec).name == name
+
+    @pytest.mark.parametrize("spec", ["flash", "base-r", "flat-r0",
+                                      "flat-rx", "flat-q"])
+    def test_invalid_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_dataflow(spec)
+
+
+class TestLoopNest:
+    def test_flat_nest_mentions_interleaving(self, small_cfg):
+        out = render_loop_nest(small_cfg, flat_r(8))
+        assert "cross-loop" in out
+        assert "softmax(Lt)" in out
+        assert "interleaved" in out
+        # The legality invariant: complete rows per block.
+        assert f"for n in range({small_cfg.seq_kv})" in out
+
+    def test_baseline_nest_shows_round_trip(self, small_cfg):
+        out = render_loop_nest(small_cfg, base())
+        assert "spill L to off-chip" in out
+        assert "softmax pass over L" in out
+
+    def test_cross_tile_counts_rendered(self, small_cfg):
+        out = render_loop_nest(small_cfg, flat_r(8))
+        row_blocks = small_cfg.seq_q // 8
+        assert f"for ro in range({row_blocks})" in out
+
+
+class TestSvgChart:
+    def test_chart_renders_valid_svg(self):
+        from repro.analysis.svg import ScatterChart, Series
+
+        chart = ScatterChart("t", "x", "y", log_x=True)
+        chart.add(Series("a", ((1.0, 0.5), (100.0, 0.9)), draw_line=True))
+        chart.add(Series("b", ((10.0, 0.2),)))
+        svg = chart.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") >= 3  # points + legend markers
+        assert "polyline" in svg
+        assert "</svg>" in svg
+
+    def test_empty_chart_rejected(self):
+        from repro.analysis.svg import ScatterChart
+
+        with pytest.raises(ValueError):
+            ScatterChart("t", "x", "y").to_svg()
+
+    def test_log_axis_requires_positive(self):
+        from repro.analysis.svg import ScatterChart, Series
+
+        chart = ScatterChart("t", "x", "y", log_y=True)
+        chart.add(Series("a", ((1.0, 0.0), (2.0, 1.0))))
+        with pytest.raises(ValueError):
+            chart.to_svg()
+
+    def test_non_finite_rejected(self):
+        from repro.analysis.svg import Series
+
+        with pytest.raises(ValueError):
+            Series("a", ((float("nan"), 1.0),))
+
+    def test_save(self, tmp_path):
+        from repro.analysis.svg import ScatterChart, Series
+
+        chart = ScatterChart("t", "x", "y")
+        chart.add(Series("a", ((0.0, 0.0), (1.0, 1.0))))
+        path = tmp_path / "chart.svg"
+        chart.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestCliCostMode:
+    def test_fixed_dataflow(self, capsys):
+        assert main(["cost", "--model", "bert", "--seq", "512",
+                     "--dataflow", "flat-r64", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "FLAT-R64" in out and "utilization" in out
+
+    def test_dse_mode(self, capsys):
+        assert main(["cost", "--model", "t5", "--seq", "1024",
+                     "--quiet"]) == 0
+        assert "DSE optimum" in capsys.readouterr().out
+
+    def test_bad_scope(self, capsys):
+        assert main(["cost", "--scope", "universe", "--quiet"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_specs(self, tmp_path, capsys):
+        accel = tmp_path / "a.json"
+        accel.write_text(json.dumps(accelerator_to_dict(edge())))
+        wl = tmp_path / "w.json"
+        wl.write_text(json.dumps(workload_to_dict(
+            model_config("bert", seq=512)
+        )))
+        assert main(["cost", "--accel-json", str(accel),
+                     "--workload-json", str(wl), "--quiet"]) == 0
+        assert "bert" in capsys.readouterr().out
+
+
+class TestDataflowSerialization:
+    def test_round_trips(self):
+        from repro.arch.config_io import dataflow_from_dict, dataflow_to_dict
+        from repro.core.dataflow import (
+            Granularity,
+            StagingPolicy,
+            Stationarity,
+            base,
+            base_x,
+            flat_r,
+            flat_x,
+        )
+
+        cases = [
+            base(),
+            base_x(Granularity.M),
+            flat_x(Granularity.B, batch_tile=2),
+            flat_r(64, staging=StagingPolicy(rhs=False),
+                   stationarity=Stationarity.WEIGHT),
+        ]
+        for df in cases:
+            assert dataflow_from_dict(dataflow_to_dict(df)) == df
+
+    def test_dse_winner_replays(self, bert_512, edge_accel):
+        """Save the DSE optimum and re-evaluate it: identical cost."""
+        from repro.arch.config_io import dataflow_from_dict, dataflow_to_dict
+        from repro.core.configs import attacc
+        from repro.core.perf import cost_la_pair
+
+        best = attacc().evaluate(bert_512, edge_accel)
+        replayed = dataflow_from_dict(dataflow_to_dict(best.dataflow))
+        original = cost_la_pair(bert_512, best.dataflow, edge_accel)
+        again = cost_la_pair(bert_512, replayed, edge_accel)
+        assert again.total_cycles == original.total_cycles
+
+    def test_invalid_spec_rejected(self):
+        from repro.arch.config_io import dataflow_from_dict
+
+        with pytest.raises(ValueError):
+            dataflow_from_dict({"granularity": "R"})  # missing 'fused'
