@@ -71,9 +71,11 @@ def buffer_sweep(
             cost = cost_scope(cfg, scope, sized, dataflow, options=options)
             points.append(_point(dataflow.name, size, cost))
         for name, space in (dse_spaces or {}).items():
+            # Only the optimum matters here: let the engine prune and
+            # defer energy to the winner.
             best = search(
                 cfg, sized, scope=scope, objective=Objective.RUNTIME,
-                space=space, options=options,
+                space=space, options=options, retain_points=False,
             ).best
             points.append(_point(name, size, best.cost))
     return points

@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress timing footers",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for DSE candidate evaluation (default: "
+             "serial; results are identical at any job count)",
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the experiment's typed rows as JSON instead of a table",
     )
@@ -146,7 +151,12 @@ def _run_svg(args) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.engine import default_jobs
+
     args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.experiment == "list":
         for name in experiment_names():
             print(name)
@@ -154,9 +164,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment in ("cost", "svg"):
         start = time.perf_counter()
         try:
-            report = _run_cost(args) if args.experiment == "cost" else (
-                _run_svg(args)
-            )
+            with default_jobs(args.jobs):
+                report = _run_cost(args) if args.experiment == "cost" else (
+                    _run_svg(args)
+                )
         except (ValueError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -174,9 +185,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         start = time.perf_counter()
         try:
             if args.json:
-                report = dumps(run_experiment_raw(name))
+                report = dumps(run_experiment_raw(name, jobs=args.jobs))
             else:
-                report = run_experiment(name)
+                report = run_experiment(name, jobs=args.jobs)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

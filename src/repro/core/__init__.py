@@ -6,6 +6,8 @@
 * :mod:`repro.core.tiling` — L2-tile selection and reuse-pass analysis.
 * :mod:`repro.core.perf` — the analytical performance model.
 * :mod:`repro.core.dse` — exhaustive design-space exploration.
+* :mod:`repro.core.engine` — the search engine behind the DSE
+  (parallel fan-out, bound-based pruning, lazy energy, memoization).
 * :mod:`repro.core.configs` — the named dataflow/accelerator
   configurations of Figure 7.
 """
@@ -55,6 +57,18 @@ from repro.core.dse import (
     enumerate_dataflows,
     search,
 )
+from repro.core.engine import (
+    EngineOptions,
+    SearchStats,
+    accelerator_fingerprint,
+    clear_evaluation_cache,
+    cycles_lower_bound,
+    default_jobs,
+    evaluation_cache_info,
+    get_default_engine,
+    objective_lower_bound,
+    set_default_engine,
+)
 from repro.core.footprint import (
     FootprintBreakdown,
     footprint_b_gran,
@@ -99,6 +113,16 @@ __all__ = [
     "SearchSpace",
     "enumerate_dataflows",
     "search",
+    "EngineOptions",
+    "SearchStats",
+    "accelerator_fingerprint",
+    "clear_evaluation_cache",
+    "cycles_lower_bound",
+    "default_jobs",
+    "evaluation_cache_info",
+    "get_default_engine",
+    "objective_lower_bound",
+    "set_default_engine",
     "FootprintBreakdown",
     "footprint_b_gran",
     "footprint_h_gran",

@@ -23,7 +23,10 @@ Accelerators
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import EngineOptions
 
 from repro.arch.accelerator import Accelerator
 from repro.core.dataflow import Granularity
@@ -69,8 +72,13 @@ class AcceleratorPolicy:
         scope: Scope = Scope.LA,
         objective: Objective = Objective.RUNTIME,
         energy_table: Optional[EnergyTable] = None,
+        engine: Optional["EngineOptions"] = None,
     ) -> DesignPoint:
-        return self.search(cfg, accel, scope, objective, energy_table).best
+        """Best design point only — runs the fast (pruned, lazy) path."""
+        return self.search(
+            cfg, accel, scope, objective, energy_table,
+            engine=engine, retain_points=False,
+        ).best
 
     def search(
         self,
@@ -79,6 +87,8 @@ class AcceleratorPolicy:
         scope: Scope = Scope.LA,
         objective: Objective = Objective.RUNTIME,
         energy_table: Optional[EnergyTable] = None,
+        engine: Optional["EngineOptions"] = None,
+        retain_points: bool = True,
     ) -> DSEResult:
         return search(
             cfg,
@@ -88,6 +98,8 @@ class AcceleratorPolicy:
             space=self.space,
             options=self.options,
             energy_table=energy_table,
+            engine=engine,
+            retain_points=retain_points,
         )
 
 

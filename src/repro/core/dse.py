@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
 from repro.core.dataflow import (
@@ -29,10 +29,13 @@ from repro.core.dataflow import (
     flat_r,
     flat_x,
 )
-from repro.core.perf import PerfOptions, ScopeCost, cost_scope
-from repro.energy.model import EnergyReport, energy_report
+from repro.core.perf import PerfOptions, ScopeCost
+from repro.energy.model import EnergyReport
 from repro.energy.tables import EnergyTable
 from repro.ops.attention import AttentionConfig, Scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import EngineOptions, SearchStats
 
 __all__ = [
     "Objective",
@@ -52,14 +55,27 @@ class Objective(enum.Enum):
     EDP = "edp"  # energy-delay product
     FOOTPRINT = "footprint"
 
-    def key(self) -> Callable[["DesignPoint"], float]:
+    def score(
+        self, cost: ScopeCost, energy: Optional[EnergyReport] = None
+    ) -> float:
+        """Objective value of one evaluated ``(cost, energy)`` pair.
+
+        ``energy`` may be ``None`` for the objectives that do not need
+        it (``RUNTIME``, ``FOOTPRINT``) — that is what lets the engine
+        defer energy accounting until a winner is known.
+        """
         if self is Objective.RUNTIME:
-            return lambda p: p.cost.total_cycles
+            return cost.total_cycles
         if self is Objective.ENERGY:
-            return lambda p: p.energy.total_j
+            assert energy is not None, "ENERGY objective needs an EnergyReport"
+            return energy.total_j
         if self is Objective.EDP:
-            return lambda p: p.energy.total_j * p.cost.total_cycles
-        return lambda p: float(p.cost.max_footprint_bytes)
+            assert energy is not None, "EDP objective needs an EnergyReport"
+            return energy.total_j * cost.total_cycles
+        return float(cost.max_footprint_bytes)
+
+    def key(self) -> Callable[["DesignPoint"], float]:
+        return lambda p: self.score(p.cost, p.energy)
 
 
 @dataclass(frozen=True)
@@ -81,11 +97,20 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class DSEResult:
-    """Outcome of one exhaustive search."""
+    """Outcome of one exhaustive search.
+
+    ``points`` holds every evaluated design point when the search was
+    asked to retain them (the default); a ``retain_points=False``
+    search returns only ``best`` and an empty tuple.  ``stats`` carries
+    the engine's work accounting (see
+    :class:`~repro.core.engine.SearchStats`) when the search ran
+    through the engine.
+    """
 
     best: DesignPoint
     points: Tuple[DesignPoint, ...]
     objective: Objective
+    stats: Optional["SearchStats"] = None
 
     @property
     def num_points(self) -> int:
@@ -96,6 +121,15 @@ class DSEResult:
 
         A point is on the front if no other point has both a smaller
         footprint and a higher utilization.
+
+        Tie handling is deterministic and keeps the front minimal:
+        points sort by ``(footprint, -utilization)`` with Python's
+        stable sort, and only a *strictly* higher utilization extends
+        the front.  Consequently, of several points with equal
+        footprint the highest-utilization one wins (ties among those
+        resolve to the earliest in ``points`` order), and a point whose
+        utilization merely equals the incumbent's is dropped — equal
+        utilization at a larger-or-equal footprint adds nothing.
         """
         ordered = sorted(
             self.points, key=lambda p: (p.footprint_bytes, -p.utilization)
@@ -109,16 +143,17 @@ class DSEResult:
         return front
 
 
-def _default_row_choices(seq_q: int, array_rows: int) -> Tuple[int, ...]:
+def _default_row_choices(seq_q: int) -> Tuple[int, ...]:
     """Row-count candidates for R granularity.
 
-    Geometric ladder from a single row up to the sequence length; small
-    R keeps the intermediate tile resident at long N, large R amortizes
-    K/V streaming, so the sweet spot moves with the workload and the
-    DSE needs both ends.  The array edge is included since it fills a
-    rigid array's rows exactly.
+    Geometric ladder from a single row up to the sequence length
+    (capped at 16384); small R keeps the intermediate tile resident at
+    long N, large R amortizes K/V streaming, so the sweet spot moves
+    with the workload and the DSE needs both ends.  The ladder is
+    deliberately independent of the PE-array edge: flexible mapping
+    folds any R onto the array, so array-shaped row counts hold no
+    special position in the space.
     """
-    del array_rows  # flexible mapping folds any R; ladder is universal
     rows = []
     r = 1
     while r <= seq_q and r <= 16384:
@@ -188,7 +223,7 @@ def enumerate_dataflows(
     rows = (
         space.row_choices
         if space.row_choices is not None
-        else _default_row_choices(cfg.seq_q, accel.pe_array.rows)
+        else _default_row_choices(cfg.seq_q)
     )
     for stat in space.stationarities:
         if space.allow_unfused and space.include_plain_base:
@@ -220,6 +255,8 @@ def search(
     space: SearchSpace = SearchSpace(),
     options: PerfOptions = PerfOptions(),
     energy_table: Optional[EnergyTable] = None,
+    engine: Optional["EngineOptions"] = None,
+    retain_points: bool = True,
 ) -> DSEResult:
     """Exhaustively evaluate the space and return the optimum.
 
@@ -227,14 +264,24 @@ def search(
     scope always run with their own per-operator best (handled inside
     :func:`~repro.core.perf.cost_scope` via the ``other_dataflow``
     default).
+
+    Evaluation runs through :mod:`repro.core.engine`: ``engine``
+    selects its parallelism / pruning / memoization knobs (``None``
+    uses the process default, which is serial) and
+    ``retain_points=False`` drops everything but the winner, enabling
+    pruning and lazy energy accounting.  The best point is identical
+    either way; see :func:`repro.core.engine.run_search`.
     """
-    points: List[DesignPoint] = []
-    for dataflow in enumerate_dataflows(cfg, accel, space):
-        cost = cost_scope(cfg, scope, accel, dataflow, options=options)
-        energy = energy_report(cost.counts, energy_table)
-        points.append(DesignPoint(dataflow=dataflow, cost=cost, energy=energy))
-    if not points:
-        raise ValueError("search space is empty")
-    key = objective.key()
-    best = min(points, key=key)
-    return DSEResult(best=best, points=tuple(points), objective=objective)
+    from repro.core.engine import run_search
+
+    return run_search(
+        cfg,
+        accel,
+        scope=scope,
+        objective=objective,
+        space=space,
+        options=options,
+        energy_table=energy_table,
+        engine=engine,
+        retain_points=retain_points,
+    )

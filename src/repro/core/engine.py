@@ -1,0 +1,727 @@
+"""Search engine for the dataflow DSE: parallel, pruned, memoized.
+
+:func:`repro.core.dse.search` delegates the actual work to
+:func:`run_search` here.  Four cooperating optimizations turn the
+paper's exhaustive sweep (section 5.3.3) — repeated across five models,
+sequence lengths 512 to 256K, two platforms and several accelerator
+variants — from a serial full-evaluation loop into something that
+scales:
+
+1. **Parallel fan-out.**  Candidate dataflows are evaluated in chunks
+   over a ``ProcessPoolExecutor`` (the ``jobs`` knob).  ``jobs=1``
+   preserves the exact serial semantics and enumeration order of the
+   original loop; the work units are picklable (frozen dataclasses all
+   the way down) and keyed by the dataflow spec.
+
+2. **Bound-based pruning.**  Before paying for a full
+   :func:`~repro.core.perf.cost_scope`, each candidate is screened with
+   a cheap *admissible* lower bound on its cycles (and, for the energy
+   objectives, its energy): the max of the ideal-compute, cold-traffic
+   and operand-streaming phases, using the same closed forms as the
+   model but none of its tile search.  A candidate whose bound already
+   exceeds the incumbent optimum provably cannot win and is skipped.
+   Pruning is strict (``bound > incumbent``), so equal-valued optima
+   keep the seed path's first-in-enumeration-order tie-breaking, and it
+   is automatically disabled when the caller retains all points or
+   optimizes ``FOOTPRINT`` (which needs no cost bound).
+
+3. **Lazy energy.**  ``energy_report`` runs only when the objective
+   (``ENERGY``/``EDP``) or a ``retain_points=True`` caller (the Figure
+   10 scatter) actually needs it; a pure-runtime search computes energy
+   once, for the winner.
+
+4. **Cross-sweep memoization.**  Evaluations are cached in a
+   process-wide LRU keyed on ``(AttentionConfig, accelerator
+   fingerprint, Dataflow, PerfOptions, Scope)``.  The fig8/fig9/fig11
+   and ``ext_*`` grids re-visit thousands of identical points across
+   their sweeps; those hits skip the cost model entirely.  The cache
+   stores only the deterministic :class:`~repro.core.perf.ScopeCost`;
+   energy is derived per caller (it depends on the energy table).
+
+Every search reports a :class:`SearchStats` (enumerated / pruned /
+cached / evaluated point counts plus wall time) on its
+:class:`~repro.core.dse.DSEResult` so speedup and pruning efficacy are
+measurable — see ``benchmarks/bench_dse_engine.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Iterator, List, Optional, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.core.dataflow import Dataflow
+from repro.core.dse import (
+    DesignPoint,
+    DSEResult,
+    Objective,
+    SearchSpace,
+    enumerate_dataflows,
+)
+from repro.core.footprint import fused_la_footprint
+from repro.core.perf import (
+    PerfOptions,
+    ScopeCost,
+    cost_scope,
+    partition_scratchpad,
+    sg_stream_words,
+)
+from repro.energy.model import ActivityCounts, EnergyReport, energy_report
+from repro.energy.tables import EnergyTable
+from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
+from repro.ops.operator import GemmOperator, OperatorKind
+
+__all__ = [
+    "EngineOptions",
+    "SearchStats",
+    "run_search",
+    "accelerator_fingerprint",
+    "cycles_lower_bound",
+    "objective_lower_bound",
+    "clear_evaluation_cache",
+    "evaluation_cache_info",
+    "get_default_engine",
+    "set_default_engine",
+    "default_jobs",
+]
+
+# Multiplicative slack shaving ~1e-9 off every bound: the bound and the
+# model share their closed forms, and this keeps float rounding from
+# ever nudging a bound above the true cost it underestimates.
+_BOUND_SLACK = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Knobs of the search engine (not of the cost model).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for candidate evaluation.  ``1`` (default)
+        runs in-process with the exact serial semantics of the original
+        search loop.
+    prune:
+        Enable bound-based pruning.  Only active when the caller does
+        not retain the full point set and the objective has a cost
+        bound (every objective except ``FOOTPRINT``).
+    cache_size:
+        Capacity (entries) of the process-wide evaluation cache;
+        ``0`` disables memoization for this search.
+    chunk_size:
+        Candidates per parallel work unit; default splits the miss list
+        into about four chunks per worker.
+    """
+
+    jobs: int = 1
+    prune: bool = True
+    cache_size: int = 8192
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Work accounting for one :func:`run_search` call.
+
+    ``enumerated = cache_hits + pruned + evaluated`` always holds; the
+    speedup story of a sweep is the fraction of ``enumerated`` that
+    never reached the cost model.
+    """
+
+    enumerated: int
+    evaluated: int
+    pruned: int
+    cache_hits: int
+    wall_time_s: float
+    jobs: int
+
+    def __post_init__(self) -> None:
+        if self.enumerated != self.cache_hits + self.pruned + self.evaluated:
+            raise ValueError(
+                "stats do not add up: enumerated != hits + pruned + evaluated"
+            )
+
+
+# ----------------------------------------------------------------------
+# default engine (threaded through the CLI / experiment runner)
+# ----------------------------------------------------------------------
+_default_engine = EngineOptions()
+
+
+def get_default_engine() -> EngineOptions:
+    """Engine options used when a caller passes ``engine=None``."""
+    return _default_engine
+
+
+def set_default_engine(engine: EngineOptions) -> EngineOptions:
+    """Replace the default engine options; returns the previous ones."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+@contextmanager
+def default_jobs(jobs: Optional[int]) -> Iterator[None]:
+    """Temporarily set the default worker count (``--jobs`` plumbing).
+
+    ``None`` leaves the default untouched, so callers can pass an
+    optional CLI flag straight through.
+    """
+    if jobs is None:
+        yield
+        return
+    previous = set_default_engine(replace(_default_engine, jobs=jobs))
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+# ----------------------------------------------------------------------
+# cross-sweep evaluation cache
+# ----------------------------------------------------------------------
+class _LRUCache:
+    """Minimal LRU mapping; not thread-safe (the engine is process-based)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[tuple, ScopeCost]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def resize(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def get(self, key: tuple) -> Optional[ScopeCost]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: ScopeCost) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_CACHE = _LRUCache(EngineOptions().cache_size)
+
+
+def clear_evaluation_cache() -> None:
+    """Drop all memoized evaluations (tests, memory pressure)."""
+    _CACHE.clear()
+
+
+def evaluation_cache_info() -> dict:
+    """Current size and lifetime hit/miss counters of the cache."""
+    return {
+        "entries": len(_CACHE),
+        "maxsize": _CACHE.maxsize,
+        "hits": _CACHE.hits,
+        "misses": _CACHE.misses,
+    }
+
+
+def accelerator_fingerprint(accel: Accelerator) -> tuple:
+    """Hashable identity of everything about an accelerator the cost
+    model can observe.
+
+    The ``name`` is deliberately excluded: two differently named but
+    otherwise identical accelerators produce identical costs, and the
+    buffer/bandwidth sweeps build exactly such variants.
+    """
+    return (
+        accel.pe_array,
+        accel.scratchpad,
+        accel.offchip,
+        accel.noc,
+        accel.sfu,
+        accel.frequency_hz,
+        accel.bytes_per_element,
+    )
+
+
+def _evaluation_key(
+    cfg: AttentionConfig,
+    accel_fp: tuple,
+    dataflow: Dataflow,
+    options: PerfOptions,
+    scope: Scope,
+) -> tuple:
+    return (cfg, accel_fp, dataflow, options, scope)
+
+
+# ----------------------------------------------------------------------
+# admissible lower bounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BoundTerms:
+    """Lower bounds on cycles and activity counts for some operators."""
+
+    cycles: float
+    counts: ActivityCounts
+
+    def __add__(self, other: "_BoundTerms") -> "_BoundTerms":
+        return _BoundTerms(
+            cycles=self.cycles + other.cycles,
+            counts=self.counts + other.counts,
+        )
+
+
+def _operator_bound(op: GemmOperator, accel: Accelerator) -> _BoundTerms:
+    """Bound for one non-L-A operator, independent of its dataflow.
+
+    Every tensor's off-chip pass multiplier in
+    :func:`~repro.core.perf.cost_operator` is >= 1 (staged-and-fitting
+    tensors pay one cold pass; everything else pays at least its L2
+    reuse passes), so the compulsory traffic is a true floor, as are the
+    ideal MAC cycles and the serial softmax pass.
+    """
+    e = accel.bytes_per_element
+    out_elements = op.out.num_elements
+    ideal = op.macs / accel.peak_macs_per_cycle
+    softmax = (
+        accel.sfu.softmax_cycles(out_elements) if op.softmax_after else 0.0
+    )
+    cold = op.lhs.num_elements + op.rhs.num_elements + out_elements
+    sg_words = sg_stream_words(op.macs, accel) + out_elements
+    cycles = max(
+        ideal + softmax,
+        cold * e / accel.offchip_bytes_per_cycle,
+        sg_words * e / accel.onchip_bytes_per_cycle,
+    )
+    sfu_ops = accel.sfu.softmax_flops(out_elements) if op.softmax_after else 0
+    counts = ActivityCounts(
+        macs=float(op.macs),
+        sl_words=2.0 * op.macs + out_elements,
+        sg_words=sg_words,
+        dram_words=float(cold),
+        sfu_ops=float(sfu_ops),
+    )
+    return _BoundTerms(cycles=cycles, counts=counts)
+
+
+@lru_cache(maxsize=512)
+def _scope_static_bound(
+    cfg: AttentionConfig, scope: Scope, accel: Accelerator
+) -> Tuple[_BoundTerms, bool, int]:
+    """The candidate-independent part of a scope's lower bound.
+
+    Sums :func:`_operator_bound` over every operator the scope covers
+    except the L-A pair (whose bound depends on the candidate dataflow)
+    and reports whether such a pair is present plus the scope's
+    replication factor.  Mirrors the pair detection of
+    :func:`~repro.core.perf.cost_scope`.
+    """
+    ops = operators_for_scope(cfg, scope)
+    total = _BoundTerms(cycles=0.0, counts=ActivityCounts())
+    has_la = False
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if (
+            op.kind is OperatorKind.LOGIT
+            and i + 1 < len(ops)
+            and ops[i + 1].kind is OperatorKind.ATTEND
+        ):
+            has_la = True
+            i += 2
+            continue
+        total = total + _operator_bound(op, accel)
+        i += 1
+    replication = cfg.num_blocks if scope is Scope.MODEL else 1
+    return total, has_la, replication
+
+
+def _la_pair_bound(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    dataflow: Dataflow,
+    options: PerfOptions,
+) -> _BoundTerms:
+    """Bound for the L-A pair under one candidate dataflow.
+
+    Three floors, the max of which the pair can never beat (fused or
+    not): ideal MACs plus the softmax that sits on the critical path
+    either way; the compulsory Q/K/V/output traffic plus the
+    intermediate's off-chip round trips (four passes over the
+    off-chip fraction — raw write, softmax read/write, re-read); and
+    the operand stream into the array.  The off-chip fraction of the
+    intermediate reuses the model's own staging-budget arithmetic
+    (priority allocation gives the intermediate first claim), so that
+    term is exact, cheaply — no L2 tile search involved.
+    """
+    b, h = cfg.batch, cfg.heads
+    nq, nkv, dk = cfg.seq_q, cfg.seq_kv, cfg.d_head
+    e = accel.bytes_per_element
+    macs = 2 * b * h * nq * nkv * dk
+    int_cold = b * h * nq * nkv
+    q_cold = b * h * nq * dk
+    k_cold = b * h * nkv * dk
+    v_cold = b * h * nkv * dk
+    out_cold = b * h * nq * dk
+
+    ideal = macs / accel.peak_macs_per_cycle
+    softmax = accel.sfu.softmax_cycles(int_cold)
+
+    s = dataflow.staging
+    if dataflow.has_l3 and s.intermediate:
+        footprint = fused_la_footprint(cfg, dataflow)
+        budget = partition_scratchpad(
+            footprint.total_bytes(e), True, accel, options
+        )
+        int_bytes = footprint.intermediate_elements * e
+        fit_int = (
+            1.0 if int_bytes <= 0
+            else min(1.0, budget.staging_budget_bytes / int_bytes)
+        )
+        int_offchip = 1.0 - fit_int
+    else:
+        int_offchip = 1.0
+
+    dram_elements = (
+        q_cold + k_cold + v_cold + out_cold + 4.0 * int_cold * int_offchip
+    )
+    sg_words = sg_stream_words(macs, accel) + out_cold
+    cycles = max(
+        ideal + softmax,
+        dram_elements * e / accel.offchip_bytes_per_cycle,
+        sg_words * e / accel.onchip_bytes_per_cycle,
+    )
+    counts = ActivityCounts(
+        macs=float(macs),
+        sl_words=2.0 * macs + out_cold,
+        sg_words=sg_words,
+        dram_words=dram_elements,
+        sfu_ops=float(accel.sfu.softmax_flops(int_cold)),
+    )
+    return _BoundTerms(cycles=cycles, counts=counts)
+
+
+def _candidate_bound(
+    cfg: AttentionConfig,
+    scope: Scope,
+    accel: Accelerator,
+    dataflow: Dataflow,
+    options: PerfOptions,
+) -> Tuple[float, ActivityCounts]:
+    static, has_la, replication = _scope_static_bound(cfg, scope, accel)
+    total = static
+    if has_la:
+        total = total + _la_pair_bound(cfg, accel, dataflow, options)
+    return replication * total.cycles, total.counts.scaled(replication)
+
+
+def cycles_lower_bound(
+    cfg: AttentionConfig,
+    scope: Scope,
+    accel: Accelerator,
+    dataflow: Dataflow,
+    options: PerfOptions = PerfOptions(),
+) -> float:
+    """Admissible lower bound on ``cost_scope(...).total_cycles``.
+
+    Never exceeds the true cost (see ``test_engine.py``'s admissibility
+    sweep), and costs ~an order of magnitude less to compute than the
+    full model because it needs no L2 tile search.
+    """
+    cycles, _ = _candidate_bound(cfg, scope, accel, dataflow, options)
+    return cycles * _BOUND_SLACK
+
+
+def objective_lower_bound(
+    objective: Objective,
+    cfg: AttentionConfig,
+    scope: Scope,
+    accel: Accelerator,
+    dataflow: Dataflow,
+    options: PerfOptions = PerfOptions(),
+    energy_table: Optional[EnergyTable] = None,
+) -> Optional[float]:
+    """Lower bound on the objective value, or ``None`` if unbounded.
+
+    ``FOOTPRINT`` returns ``None`` — footprints need no cost bound and
+    the engine disables pruning for that objective.
+    """
+    if objective is Objective.FOOTPRINT:
+        return None
+    cycles, counts = _candidate_bound(cfg, scope, accel, dataflow, options)
+    if objective is Objective.RUNTIME:
+        return cycles * _BOUND_SLACK
+    energy = energy_report(counts, energy_table).total_j
+    if objective is Objective.ENERGY:
+        return energy * _BOUND_SLACK
+    return energy * cycles * _BOUND_SLACK
+
+
+# ----------------------------------------------------------------------
+# evaluation (serial and parallel paths)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Picklable work unit: evaluate a run of candidate dataflows."""
+
+    cfg: AttentionConfig
+    accel: Accelerator
+    scope: Scope
+    options: PerfOptions
+    objective: Objective
+    dataflows: Tuple[Dataflow, ...]
+    need_energy: bool
+    energy_table: Optional[EnergyTable]
+    prune: bool
+    bound: Optional[float]
+
+
+def _evaluate_chunk(
+    task: _ChunkTask,
+) -> List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]]:
+    """Worker: evaluate each candidate, pruning against a local incumbent.
+
+    The incoming ``bound`` is the incumbent at dispatch time; within the
+    chunk the worker tightens it with its own results.  Pruning is
+    strict (``>``) so equal-valued optima survive to the deterministic
+    index-ordered selection in the parent.
+    """
+    results: List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]] = []
+    bound = task.bound
+    for dataflow in task.dataflows:
+        if task.prune and bound is not None:
+            lower = objective_lower_bound(
+                task.objective, task.cfg, task.scope, task.accel, dataflow,
+                task.options, task.energy_table,
+            )
+            if lower is not None and lower > bound:
+                results.append(None)
+                continue
+        cost = cost_scope(
+            task.cfg, task.scope, task.accel, dataflow, options=task.options
+        )
+        energy = (
+            energy_report(cost.counts, task.energy_table)
+            if task.need_energy else None
+        )
+        results.append((cost, energy))
+        value = task.objective.score(cost, energy)
+        if bound is None or value < bound:
+            bound = value
+    return results
+
+
+def run_search(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    scope: Scope = Scope.LA,
+    objective: Objective = Objective.RUNTIME,
+    space: SearchSpace = SearchSpace(),
+    options: PerfOptions = PerfOptions(),
+    energy_table: Optional[EnergyTable] = None,
+    engine: Optional[EngineOptions] = None,
+    retain_points: bool = True,
+) -> DSEResult:
+    """Evaluate the search space and return the optimum plus stats.
+
+    With ``retain_points=True`` (the historical default) every design
+    point is evaluated, energy included, and returned — pruning is
+    disabled because the caller asked for the whole space.  With
+    ``retain_points=False`` only the optimum matters: candidates are
+    pruned against the incumbent, energy is computed lazily, and
+    ``DSEResult.points`` comes back empty.
+
+    Regardless of ``jobs``/``prune``/``cache_size``, the returned best
+    design point (dataflow and objective value) is identical to the
+    naive serial full evaluation: bounds are admissible, pruning is
+    strict, and ties resolve to the first candidate in enumeration
+    order.
+    """
+    start = time.perf_counter()
+    if engine is None:
+        engine = get_default_engine()
+    dataflows = list(enumerate_dataflows(cfg, accel, space))
+    if not dataflows:
+        raise ValueError("search space is empty")
+
+    need_energy = retain_points or objective in (
+        Objective.ENERGY, Objective.EDP
+    )
+    prune = (
+        engine.prune
+        and not retain_points
+        and objective is not Objective.FOOTPRINT
+    )
+    use_cache = engine.cache_size > 0
+    if use_cache and _CACHE.maxsize != engine.cache_size:
+        _CACHE.resize(engine.cache_size)
+    accel_fp = accelerator_fingerprint(accel)
+
+    n = len(dataflows)
+    entries: List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]] = (
+        [None] * n
+    )
+    cache_hits = 0
+    misses: List[int] = []
+    for i, dataflow in enumerate(dataflows):
+        cost = (
+            _CACHE.get(_evaluation_key(cfg, accel_fp, dataflow, options, scope))
+            if use_cache else None
+        )
+        if cost is None:
+            misses.append(i)
+            continue
+        energy = (
+            energy_report(cost.counts, energy_table) if need_energy else None
+        )
+        entries[i] = (cost, energy)
+        cache_hits += 1
+
+    incumbent: Optional[float] = None
+    for entry in entries:
+        if entry is not None:
+            value = objective.score(entry[0], entry[1])
+            if incumbent is None or value < incumbent:
+                incumbent = value
+
+    pruned = 0
+
+    def _absorb(index: int, cost: ScopeCost,
+                energy: Optional[EnergyReport]) -> None:
+        nonlocal incumbent
+        entries[index] = (cost, energy)
+        if use_cache:
+            _CACHE.put(
+                _evaluation_key(
+                    cfg, accel_fp, dataflows[index], options, scope
+                ),
+                cost,
+            )
+        value = objective.score(cost, energy)
+        if incumbent is None or value < incumbent:
+            incumbent = value
+
+    if misses and engine.jobs == 1:
+        for i in misses:
+            dataflow = dataflows[i]
+            if prune and incumbent is not None:
+                lower = objective_lower_bound(
+                    objective, cfg, scope, accel, dataflow, options,
+                    energy_table,
+                )
+                if lower is not None and lower > incumbent:
+                    pruned += 1
+                    continue
+            cost = cost_scope(cfg, scope, accel, dataflow, options=options)
+            energy = (
+                energy_report(cost.counts, energy_table)
+                if need_energy else None
+            )
+            _absorb(i, cost, energy)
+    elif misses:
+        chunk = engine.chunk_size or max(
+            1, -(-len(misses) // (engine.jobs * 4))
+        )
+        chunks = [
+            misses[j:j + chunk] for j in range(0, len(misses), chunk)
+        ]
+        with ProcessPoolExecutor(max_workers=engine.jobs) as pool:
+            position = 0
+            # Wave scheduling: up to ``jobs`` chunks in flight, each
+            # dispatched with the freshest incumbent so later waves
+            # prune harder.
+            while position < len(chunks):
+                wave = chunks[position:position + engine.jobs]
+                position += len(wave)
+                futures = [
+                    pool.submit(
+                        _evaluate_chunk,
+                        _ChunkTask(
+                            cfg=cfg,
+                            accel=accel,
+                            scope=scope,
+                            options=options,
+                            objective=objective,
+                            dataflows=tuple(
+                                dataflows[i] for i in indices
+                            ),
+                            need_energy=need_energy,
+                            energy_table=energy_table,
+                            prune=prune,
+                            bound=incumbent,
+                        ),
+                    )
+                    for indices in wave
+                ]
+                for indices, future in zip(wave, futures):
+                    for i, result in zip(indices, future.result()):
+                        if result is None:
+                            pruned += 1
+                            continue
+                        _absorb(i, result[0], result[1])
+
+    # Deterministic selection: first index attaining the minimum, which
+    # is exactly ``min(points, key=...)`` over the full serial sweep.
+    best_index: Optional[int] = None
+    best_value: Optional[float] = None
+    for i, entry in enumerate(entries):
+        if entry is None:
+            continue
+        value = objective.score(entry[0], entry[1])
+        if best_value is None or value < best_value:
+            best_value = value
+            best_index = i
+    if best_index is None:  # unreachable: nothing prunes without an incumbent
+        raise RuntimeError("search pruned every candidate")
+
+    best_cost, best_energy = entries[best_index]
+    if best_energy is None:
+        best_energy = energy_report(best_cost.counts, energy_table)
+    best = DesignPoint(
+        dataflow=dataflows[best_index], cost=best_cost, energy=best_energy
+    )
+    points: Tuple[DesignPoint, ...] = ()
+    if retain_points:
+        points = tuple(
+            DesignPoint(dataflow=dataflows[i], cost=entry[0], energy=entry[1])
+            for i, entry in enumerate(entries)
+            if entry is not None
+        )
+    stats = SearchStats(
+        enumerated=n,
+        evaluated=len(misses) - pruned,
+        pruned=pruned,
+        cache_hits=cache_hits,
+        wall_time_s=time.perf_counter() - start,
+        jobs=engine.jobs,
+    )
+    return DSEResult(
+        best=best, points=points, objective=objective, stats=stats
+    )

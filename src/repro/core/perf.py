@@ -45,10 +45,13 @@ __all__ = [
     "PerfOptions",
     "OperatorCost",
     "ScopeCost",
+    "StagingBudget",
     "cost_operator",
     "cost_fused_la",
     "cost_la_pair",
     "cost_scope",
+    "partition_scratchpad",
+    "sg_stream_words",
 ]
 
 
@@ -255,7 +258,7 @@ def _psum_out_passes(k: int, tile: L2Tile, stationarity: Stationarity) -> int:
 # buffer / staging model
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
-class _StagingBudget:
+class StagingBudget:
     """SG partition for one operator execution."""
 
     l2_budget_elements: int
@@ -263,10 +266,16 @@ class _StagingBudget:
     fit_fraction: float  # 1.0 = everything staged fits
 
 
-def _partition_scratchpad(
+def partition_scratchpad(
     footprint_bytes: int, staging_active: bool, accel: Accelerator,
     options: PerfOptions,
-) -> _StagingBudget:
+) -> StagingBudget:
+    """Split the scratchpad into L2 working set and staging region.
+
+    Public because the DSE engine's admissible lower bounds
+    (:mod:`repro.core.engine`) reuse the exact partition arithmetic to
+    price intermediate spills without running the full model.
+    """
     sg = accel.sg_bytes
     e = accel.bytes_per_element
     if staging_active and footprint_bytes > 0:
@@ -276,16 +285,21 @@ def _partition_scratchpad(
         reserve = min(reserve, sg // 2)
         staging_budget = sg - reserve
         fit = min(1.0, staging_budget / footprint_bytes)
-        return _StagingBudget(
+        return StagingBudget(
             l2_budget_elements=max(1, reserve // e),
             staging_budget_bytes=staging_budget,
             fit_fraction=fit,
         )
-    return _StagingBudget(
+    return StagingBudget(
         l2_budget_elements=max(1, sg // e),
         staging_budget_bytes=0,
         fit_fraction=1.0,
     )
+
+
+# Backward-compatible aliases (pre-engine private spellings).
+_StagingBudget = StagingBudget
+_partition_scratchpad = partition_scratchpad
 
 
 def _blend_passes(
@@ -359,7 +373,7 @@ class _Phase:
         return max(self.compute_cycles + self.softmax_cycles, dram, sg)
 
 
-def _sg_stream_words(macs: float, accel: Accelerator) -> float:
+def sg_stream_words(macs: float, accel: Accelerator) -> float:
     """SG->array operand streaming, in words.
 
     For each output tile the array consumes one operand word per spatial
@@ -368,6 +382,10 @@ def _sg_stream_words(macs: float, accel: Accelerator) -> float:
     """
     pe = accel.pe_array
     return macs * (pe.rows + pe.cols) / (pe.rows * pe.cols)
+
+
+# Backward-compatible alias (pre-engine private spelling).
+_sg_stream_words = sg_stream_words
 
 
 def _assemble(

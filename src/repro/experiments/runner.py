@@ -8,8 +8,9 @@ experiment runs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.core.engine import default_jobs
 from repro.experiments import (
     ext_batch,
     ext_decode,
@@ -194,8 +195,13 @@ RAW_EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
-def run_experiment_raw(name: str) -> object:
-    """Run one experiment and return its typed rows (for JSON export)."""
+def run_experiment_raw(name: str, jobs: Optional[int] = None) -> object:
+    """Run one experiment and return its typed rows (for JSON export).
+
+    ``jobs`` sets the DSE engine's worker-process count for the
+    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
+    current default.
+    """
     try:
         runner = RAW_EXPERIMENTS[name]
     except KeyError:
@@ -203,7 +209,8 @@ def run_experiment_raw(name: str) -> object:
             f"no raw rows for {name!r}; choose from "
             f"{sorted(RAW_EXPERIMENTS)}"
         ) from None
-    return runner()
+    with default_jobs(jobs):
+        return runner()
 
 
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
@@ -236,12 +243,18 @@ def experiment_names() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(name: str) -> str:
-    """Run one registered experiment and return its report."""
+def run_experiment(name: str, jobs: Optional[int] = None) -> str:
+    """Run one registered experiment and return its report.
+
+    ``jobs`` sets the DSE engine's worker-process count for the
+    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
+    current default.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         raise ValueError(
             f"unknown experiment {name!r}; choose from {experiment_names()}"
         ) from None
-    return runner()
+    with default_jobs(jobs):
+        return runner()

@@ -128,3 +128,99 @@ class TestParetoFront:
                 for f in front
             )
             assert dominated
+
+    def test_tie_handling_keeps_first_in_points_order(self, bert_512,
+                                                      edge_accel):
+        """Full ties resolve deterministically to the earlier point.
+
+        Duplicating a front point (same cost, different name) must not
+        change the front when the duplicate comes later, and must swap
+        in the duplicate when it comes first — ``pareto_front`` is a
+        pure, stable function of ``points`` order.
+        """
+        import dataclasses
+
+        from repro.core.dse import DSEResult
+
+        result = search(bert_512, edge_accel)
+        front = result.pareto_front()
+        dup = dataclasses.replace(
+            front[0],
+            dataflow=dataclasses.replace(front[0].dataflow, name="twin"),
+        )
+        appended = DSEResult(
+            best=result.best, points=result.points + (dup,),
+            objective=result.objective,
+        )
+        assert appended.pareto_front() == front
+        prepended = DSEResult(
+            best=result.best, points=(dup,) + result.points,
+            objective=result.objective,
+        )
+        swapped = prepended.pareto_front()
+        assert swapped[0].dataflow.name == "twin"
+        assert swapped[1:] == front[1:]
+
+    def test_front_is_deterministic(self, bert_512, edge_accel):
+        result = search(bert_512, edge_accel)
+        assert result.pareto_front() == result.pareto_front()
+
+
+class TestSpaceClosedForms:
+    """The enumeration's size is predictable in closed form."""
+
+    def test_exhaustive_staging_is_full_2_to_the_5(self):
+        from repro.core.dse import _staging_choices
+
+        exhaustive = _staging_choices(True)
+        assert len(exhaustive) == 2 ** 5 == 32
+        assert len(set(exhaustive)) == 32
+        # Exactly one member is all-disabled; enumerate_dataflows skips
+        # it, so 31 policies reach the cost model.
+        assert sum(1 for s in exhaustive if not s.any_enabled) == 1
+
+    def test_default_staging_corners(self):
+        from repro.core.dse import _staging_choices
+
+        lean = _staging_choices(False)
+        assert len(lean) == 7  # all-on, int-only, five single-offs
+        assert all(s.any_enabled for s in lean)
+
+    @pytest.mark.parametrize("exhaustive", [False, True])
+    def test_enumeration_count_matches_closed_form(self, bert_512,
+                                                   edge_accel, exhaustive):
+        from repro.core.dse import _default_row_choices, _staging_choices
+
+        space = SearchSpace(exhaustive_staging=exhaustive)
+        stagings = sum(
+            1 for s in _staging_choices(exhaustive) if s.any_enabled
+        )
+        rows = len(_default_row_choices(bert_512.seq_q))
+        xy_grans = sum(
+            1 for g in space.granularities if g is not Granularity.R
+        )
+        # plain Base + (Base-X and FLAT-X per staging) + FLAT-R grid
+        predicted = 1 + 2 * xy_grans * stagings + rows * stagings
+        actual = len(list(enumerate_dataflows(bert_512, edge_accel, space)))
+        assert actual == predicted
+        if exhaustive:
+            assert actual == 1 + 2 * 3 * 31 + 6 * 31 == 373
+
+
+class TestRowChoices:
+    def test_ladder_depends_only_on_seq(self):
+        from repro.core.dse import _default_row_choices
+
+        rows = _default_row_choices(512)
+        assert rows == (1, 4, 16, 64, 256, 512)
+        assert _default_row_choices(512) == rows  # deterministic
+        # Capped at 16384 regardless of sequence length.
+        assert max(_default_row_choices(10 ** 6)) == 16384
+
+    def test_ladder_covers_both_ends(self):
+        from repro.core.dse import _default_row_choices
+
+        for seq in (1, 7, 512, 4096, 65536):
+            rows = _default_row_choices(seq)
+            assert rows[0] == 1
+            assert rows[-1] == min(seq, 16384)
