@@ -1,0 +1,95 @@
+"""Benchmark: the parallel pipeline + persistent cross-run DSE cache.
+
+Runs a multi-experiment subset three ways and asserts the acceptance
+criteria of the pipeline PR:
+
+* a warm-cache re-run (same cache directory, fresh worker processes)
+  is >= 3x faster than the cold run,
+* parallel ``run-all`` is >= 1.5x faster than the serial loop when at
+  least 4 cores are available (skipped below that),
+* serial, parallel and warm-cache runs produce byte-identical reports,
+* the warm run's hits actually come from the persistent cache.
+
+The subset deliberately includes fig8/fig9 pairs: their grids overlap,
+so even the *cold* parallel run shares evaluations across experiments
+through the on-disk store — the cross-run cache doubles as the
+cross-worker one.
+"""
+
+import os
+import time
+
+from repro.core.engine import clear_evaluation_cache
+from repro.experiments.pipeline import run_pipeline
+
+SUBSET = ("fig8-edge", "fig9-edge", "fig8-cloud", "fig9-cloud")
+
+
+def _run(names, workers, cache_dir):
+    """One pipeline run whose cache hits can only come from disk.
+
+    Pool workers fork from this process, so the in-memory LRU is
+    dropped first; with ``workers == 1`` (inline loop) that also makes
+    the serial baseline honestly cold.
+    """
+    clear_evaluation_cache()
+    return run_pipeline(names=names, workers=workers, cache_dir=cache_dir)
+
+
+def test_pipeline_warm_cache_and_parallel_speedup(
+    benchmark, report_printer, tmp_path
+):
+    cpus = os.cpu_count() or 1
+    workers = min(4, cpus)
+    shared_cache = str(tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    cold = _run(SUBSET, workers, shared_cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: _run(SUBSET, workers, shared_cache), rounds=1, iterations=1
+    )
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = _run(SUBSET, 1, str(tmp_path / "serial_cache"))
+    serial_s = time.perf_counter() - t0
+
+    warm_cache = warm.aggregate_cache()
+    lines = [
+        f"subset: {', '.join(SUBSET)} ({workers} workers, {cpus} cores)",
+        f"cold  pipeline: {cold_s * 1e3:9.1f} ms",
+        f"warm  pipeline: {warm_s * 1e3:9.1f} ms "
+        f"({cold_s / warm_s:.1f}x vs cold)",
+        f"serial loop   : {serial_s * 1e3:9.1f} ms "
+        f"({serial_s / cold_s:.1f}x vs parallel cold)",
+        f"warm cache    : {warm_cache.get('hits', 0)} hits, "
+        f"{warm_cache.get('misses', 0)} misses, "
+        f"{warm_cache.get('corrupt', 0)} corrupt",
+    ]
+    report_printer("\n".join(lines))
+
+    # Byte-identical reports across serial / parallel / cached runs.
+    for serial_run, cold_run, warm_run in zip(
+        serial.runs, cold.runs, warm.runs
+    ):
+        assert serial_run.ok and cold_run.ok and warm_run.ok
+        assert serial_run.report == cold_run.report, serial_run.name
+        assert serial_run.report == warm_run.report, serial_run.name
+
+    # The warm run must be served by the persistent cache...
+    assert warm_cache.get("hits", 0) > 0
+    assert warm.aggregate_search()["disk_hits"] > 0
+    assert warm.aggregate_search()["evaluated"] == 0
+    # ...and buy the acceptance-criterion speedup.
+    assert cold_s >= 3.0 * warm_s, (
+        f"warm cache only {cold_s / warm_s:.2f}x faster"
+    )
+
+    # Experiment-level parallelism pays off once cores are available.
+    if cpus >= 4:
+        assert serial_s >= 1.5 * cold_s, (
+            f"parallel run-all only {serial_s / cold_s:.2f}x faster"
+        )

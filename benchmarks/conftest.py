@@ -4,11 +4,26 @@ Every benchmark regenerates one of the paper's tables or figures on the
 analytical cost model, times the regeneration with pytest-benchmark,
 asserts the paper's qualitative claims on the produced rows, and prints
 the rows themselves (run with ``-s`` to see them).
+
+Each session additionally writes a ``BENCH_pipeline.json`` artifact —
+one row per benchmark with its wall time and the DSE engine's
+accumulated :func:`~repro.core.engine.search_totals` — so successive
+PRs have a perf trajectory to compare against.  The path is
+overridable via ``BENCH_PIPELINE_PATH``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
+
+from repro.core.engine import reset_search_totals, search_totals
+
+_ARTIFACT_SCHEMA = "repro-bench-trajectory/1"
+_rows = []
 
 
 @pytest.fixture
@@ -20,3 +35,36 @@ def report_printer(request):
         print(text)
 
     return _print
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record wall time + in-process DSE search totals per benchmark.
+
+    Search totals are per-process: a benchmark that farms experiments
+    out to worker processes (``bench_pipeline``) reports near-zero
+    parent-side totals but still records its wall time.
+    """
+    reset_search_totals()
+    start = time.perf_counter()
+    yield
+    _rows.append(
+        {
+            "benchmark": item.nodeid,
+            "wall_time_s": time.perf_counter() - start,
+            "search": search_totals(),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _rows:
+        return
+    path = os.environ.get("BENCH_PIPELINE_PATH", "BENCH_pipeline.json")
+    payload = {"schema": _ARTIFACT_SCHEMA, "rows": _rows}
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    except OSError:
+        pass  # a read-only checkout must not fail the benchmarks

@@ -19,8 +19,14 @@ python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt"
 echo "== artifact benchmarks (with qualitative assertions) =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$OUT/bench_output.txt"
 
-echo "== paper tables & figures + extensions =="
-python -m repro.cli all 2>&1 | tee "$OUT/experiments.txt"
+echo "== paper tables & figures + extensions (parallel pipeline) =="
+# Experiments run as parallel jobs over a process pool; the persistent
+# cache makes re-runs (and the JSON export below) start warm while
+# producing byte-identical reports.  Reports land in
+# $OUT/experiments/reports/, work accounting in manifest.json.
+CACHE="${REPRO_CACHE_DIR:-$OUT/.dse_cache}"
+python -m repro.cli run-all --output-dir "$OUT/experiments" \
+    --cache-dir "$CACHE" 2>&1 | tee "$OUT/experiments.txt"
 
 echo "== JSON exports =="
 for exp in table1 table2 fig2 fig8-edge fig8-cloud fig9-edge fig9-cloud \
@@ -28,7 +34,8 @@ for exp in table1 table2 fig2 fig8-edge fig8-cloud fig9-edge fig9-cloud \
            fig11-cloud fig12a fig12b iso-area ext-online ext-sparse \
            ext-suite ext-decode ext-scaleout ext-quant ext-batch \
            ext-hierarchy; do
-    python -m repro.cli "$exp" --json --quiet > "$OUT/$exp.json"
+    python -m repro.cli "$exp" --json --quiet --cache-dir "$CACHE" \
+        > "$OUT/$exp.json"
 done
 
 echo "== SVG figures =="

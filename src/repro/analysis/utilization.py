@@ -8,7 +8,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.arch.accelerator import Accelerator
 from repro.core.dataflow import Dataflow
 from repro.core.dse import Objective, SearchSpace, search
-from repro.core.perf import PerfOptions, ScopeCost, cost_scope
+from repro.core.engine import evaluate_cost
+from repro.core.perf import PerfOptions, ScopeCost
 from repro.energy.model import EnergyReport, energy_report
 from repro.ops.attention import AttentionConfig, Scope
 
@@ -68,7 +69,8 @@ def buffer_sweep(
     for size in sizes:
         sized = accel.with_scratchpad_bytes(size)
         for dataflow in dataflows:
-            cost = cost_scope(cfg, scope, sized, dataflow, options=options)
+            # Memoized (LRU + persistent cache) fixed-point evaluation.
+            cost = evaluate_cost(cfg, scope, sized, dataflow, options=options)
             points.append(_point(dataflow.name, size, cost))
         for name, space in (dse_spaces or {}).items():
             # Only the optimum matters here: let the engine prune and

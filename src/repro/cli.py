@@ -1,15 +1,22 @@
 """Command-line interface.
 
-Three modes:
+Four modes:
 
 * ``python -m repro.cli <experiment>`` — regenerate one paper artifact
   (``list`` enumerates, ``all`` runs everything, ``--json`` emits rows).
+* ``python -m repro.cli run-all [--only a,b] [--workers N]
+  [--output-dir DIR]`` — run experiments as parallel jobs over a
+  process pool, write per-experiment reports plus a JSON manifest.
 * ``python -m repro.cli cost --model bert --seq 4096 --platform edge
   [--dataflow flat-r64 | --dse] [--scope LA|Block|Model]`` — cost an
   arbitrary workload, optionally from JSON specs
   (``--workload-json`` / ``--accel-json``).
 * ``python -m repro.cli svg [--outdir DIR]`` — render the scatter/line
   figures as standalone SVG files.
+
+Every mode honors ``--cache-dir`` (or ``REPRO_CACHE_DIR``): a
+persistent cross-run cache of DSE evaluations that makes warm re-runs
+several times faster while producing byte-identical reports.
 """
 
 from __future__ import annotations
@@ -43,8 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment name, 'list', 'all', 'cost' (ad-hoc workload "
-            "costing) or 'svg' (render figures)"
+            "experiment name, 'list', 'all', 'run-all' (parallel "
+            "pipeline), 'cost' (ad-hoc workload costing) or 'svg' "
+            "(render figures)"
         ),
     )
     parser.add_argument(
@@ -59,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true",
         help="emit the experiment's typed rows as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent cross-run DSE evaluation cache (default: "
+             "$REPRO_CACHE_DIR, or no cache); results are identical "
+             "with or without it",
+    )
+    pipe = parser.add_argument_group("run-all mode")
+    pipe.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="experiment-level worker processes (default: all cores)",
+    )
+    pipe.add_argument(
+        "--only", default=None, metavar="A,B,...",
+        help="comma-separated subset of experiments to run",
+    )
+    pipe.add_argument(
+        "--output-dir", default="pipeline_output", metavar="DIR",
+        help="directory for reports + manifest.json (default: "
+             "pipeline_output)",
     )
     cost = parser.add_argument_group("cost mode")
     cost.add_argument("--model", default="bert",
@@ -150,7 +178,61 @@ def _run_svg(args) -> str:
     return "wrote:\n" + "\n".join(f"  {p}" for p in paths)
 
 
+def _run_pipeline_mode(args) -> int:
+    from repro.experiments.pipeline import run_pipeline, write_manifest
+
+    names = (
+        [n.strip() for n in args.only.split(",") if n.strip()]
+        if args.only else None
+    )
+
+    def _progress(run, done, total):
+        hits = run.cache.get("hits", 0)
+        print(
+            f"[{done}/{total}] {run.name}: {run.status} in "
+            f"{run.wall_time_s:.1f}s (searches={run.search['searches']}, "
+            f"evaluated={run.search['evaluated']}, disk hits={hits})",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        result = run_pipeline(
+            names=names, workers=args.workers, jobs=args.jobs,
+            progress=None if args.quiet else _progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest_path = write_manifest(result, args.output_dir)
+    search = result.aggregate_search()
+    cache = result.aggregate_cache()
+    print(
+        f"ran {len(result.runs)} experiments with {result.workers} "
+        f"workers in {result.wall_time_s:.1f}s "
+        f"({len(result.failures)} failed)"
+    )
+    print(
+        f"DSE totals: {search['searches']:.0f} searches, "
+        f"{search['evaluated']:.0f} evaluated, "
+        f"{search['pruned']:.0f} pruned, "
+        f"{search['cache_hits']:.0f} cache hits "
+        f"({search['disk_hits']:.0f} from disk)"
+    )
+    if result.cache_dir:
+        print(
+            f"persistent cache ({result.cache_dir}): "
+            f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses, "
+            f"{cache.get('writes', 0)} writes, "
+            f"{cache.get('corrupt', 0)} corrupt"
+        )
+    print(f"manifest: {manifest_path}")
+    for failed in result.failures:
+        print(f"FAILED {failed.name}: {failed.report}", file=sys.stderr)
+    return 1 if result.failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.cache import default_cache_dir
     from repro.core.engine import default_jobs
 
     args = build_parser().parse_args(argv)
@@ -161,10 +243,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in experiment_names():
             print(name)
         return 0
+    if args.experiment == "run-all":
+        with default_cache_dir(args.cache_dir):
+            return _run_pipeline_mode(args)
     if args.experiment in ("cost", "svg"):
         start = time.perf_counter()
         try:
-            with default_jobs(args.jobs):
+            with default_cache_dir(args.cache_dir), default_jobs(args.jobs):
                 report = _run_cost(args) if args.experiment == "cost" else (
                     _run_svg(args)
                 )
@@ -184,10 +269,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         start = time.perf_counter()
         try:
-            if args.json:
-                report = dumps(run_experiment_raw(name, jobs=args.jobs))
-            else:
-                report = run_experiment(name, jobs=args.jobs)
+            with default_cache_dir(args.cache_dir):
+                if args.json:
+                    report = dumps(run_experiment_raw(name, jobs=args.jobs))
+                else:
+                    report = run_experiment(name, jobs=args.jobs)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -8,6 +8,8 @@
 * :mod:`repro.core.dse` — exhaustive design-space exploration.
 * :mod:`repro.core.engine` — the search engine behind the DSE
   (parallel fan-out, bound-based pruning, lazy energy, memoization).
+* :mod:`repro.core.cache` — the persistent cross-run evaluation cache
+  underneath the engine (``--cache-dir`` / ``REPRO_CACHE_DIR``).
 * :mod:`repro.core.configs` — the named dataflow/accelerator
   configurations of Figure 7.
 """
@@ -57,6 +59,14 @@ from repro.core.dse import (
     enumerate_dataflows,
     search,
 )
+from repro.core.cache import (
+    CacheStats,
+    PersistentCache,
+    cost_model_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+    set_default_cache_dir,
+)
 from repro.core.engine import (
     EngineOptions,
     SearchStats,
@@ -64,9 +74,12 @@ from repro.core.engine import (
     clear_evaluation_cache,
     cycles_lower_bound,
     default_jobs,
+    evaluate_cost,
     evaluation_cache_info,
     get_default_engine,
     objective_lower_bound,
+    reset_search_totals,
+    search_totals,
     set_default_engine,
 )
 from repro.core.footprint import (
@@ -119,10 +132,19 @@ __all__ = [
     "clear_evaluation_cache",
     "cycles_lower_bound",
     "default_jobs",
+    "evaluate_cost",
     "evaluation_cache_info",
     "get_default_engine",
     "objective_lower_bound",
+    "reset_search_totals",
+    "search_totals",
     "set_default_engine",
+    "CacheStats",
+    "PersistentCache",
+    "cost_model_fingerprint",
+    "default_cache_dir",
+    "get_default_cache",
+    "set_default_cache_dir",
     "FootprintBreakdown",
     "footprint_b_gran",
     "footprint_h_gran",

@@ -38,10 +38,21 @@ scales:
    stores only the deterministic :class:`~repro.core.perf.ScopeCost`;
    energy is derived per caller (it depends on the energy table).
 
+5. **Cross-run persistence.**  When a cache directory is configured
+   (``--cache-dir`` / ``REPRO_CACHE_DIR``; see
+   :mod:`repro.core.cache`), every LRU miss falls through to a
+   persistent on-disk store keyed by the same evaluation fingerprint,
+   and every fresh evaluation — serial loop and pool workers alike —
+   is written back.  A re-run of any sweep, in any process, starts
+   warm; entries are invalidated wholesale when the cost-model source
+   fingerprint changes.
+
 Every search reports a :class:`SearchStats` (enumerated / pruned /
 cached / evaluated point counts plus wall time) on its
 :class:`~repro.core.dse.DSEResult` so speedup and pruning efficacy are
-measurable — see ``benchmarks/bench_dse_engine.py``.
+measurable — see ``benchmarks/bench_dse_engine.py``.  A per-process
+accumulator (:func:`search_totals`) sums those stats across searches
+so whole experiments and pipeline runs can report their DSE work.
 """
 
 from __future__ import annotations
@@ -55,6 +66,7 @@ from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
+from repro.core.cache import PersistentCache, get_default_cache, open_cache
 from repro.core.dataflow import Dataflow
 from repro.core.dse import (
     DesignPoint,
@@ -85,9 +97,12 @@ __all__ = [
     "objective_lower_bound",
     "clear_evaluation_cache",
     "evaluation_cache_info",
+    "evaluate_cost",
     "get_default_engine",
     "set_default_engine",
     "default_jobs",
+    "reset_search_totals",
+    "search_totals",
 ]
 
 # Multiplicative slack shaving ~1e-9 off every bound: the bound and the
@@ -138,7 +153,9 @@ class SearchStats:
 
     ``enumerated = cache_hits + pruned + evaluated`` always holds; the
     speedup story of a sweep is the fraction of ``enumerated`` that
-    never reached the cost model.
+    never reached the cost model.  ``disk_hits`` is the subset of
+    ``cache_hits`` served by the persistent cross-run cache rather than
+    the in-process LRU.
     """
 
     enumerated: int
@@ -147,12 +164,15 @@ class SearchStats:
     cache_hits: int
     wall_time_s: float
     jobs: int
+    disk_hits: int = 0
 
     def __post_init__(self) -> None:
         if self.enumerated != self.cache_hits + self.pruned + self.evaluated:
             raise ValueError(
                 "stats do not add up: enumerated != hits + pruned + evaluated"
             )
+        if not 0 <= self.disk_hits <= self.cache_hits:
+            raise ValueError("disk_hits must lie within cache_hits")
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +209,44 @@ def default_jobs(jobs: Optional[int]) -> Iterator[None]:
         yield
     finally:
         set_default_engine(previous)
+
+
+# ----------------------------------------------------------------------
+# per-process search accounting (summed over every run_search call)
+# ----------------------------------------------------------------------
+_TOTALS_ZERO = {
+    "searches": 0,
+    "enumerated": 0,
+    "evaluated": 0,
+    "pruned": 0,
+    "cache_hits": 0,
+    "disk_hits": 0,
+    "wall_time_s": 0.0,
+}
+_totals = dict(_TOTALS_ZERO)
+
+
+def reset_search_totals() -> None:
+    """Zero the per-process accumulated :class:`SearchStats`."""
+    _totals.update(_TOTALS_ZERO)
+
+
+def search_totals() -> dict:
+    """Accumulated stats of every search since the last reset.
+
+    Per-process: a pipeline worker reports the experiments *it* ran.
+    """
+    return dict(_totals)
+
+
+def _accumulate(stats: SearchStats) -> None:
+    _totals["searches"] += 1
+    _totals["enumerated"] += stats.enumerated
+    _totals["evaluated"] += stats.evaluated
+    _totals["pruned"] += stats.pruned
+    _totals["cache_hits"] += stats.cache_hits
+    _totals["disk_hits"] += stats.disk_hits
+    _totals["wall_time_s"] += stats.wall_time_s
 
 
 # ----------------------------------------------------------------------
@@ -279,6 +337,40 @@ def _evaluation_key(
     scope: Scope,
 ) -> tuple:
     return (cfg, accel_fp, dataflow, options, scope)
+
+
+def evaluate_cost(
+    cfg: AttentionConfig,
+    scope: Scope,
+    accel: Accelerator,
+    dataflow: Dataflow,
+    options: PerfOptions = PerfOptions(),
+) -> ScopeCost:
+    """Memoized :func:`~repro.core.perf.cost_scope` for fixed dataflows.
+
+    The caching entry point for callers outside the search loop (the
+    figure harnesses evaluate fixed dataflow lineups point by point):
+    checks the in-process LRU, then the persistent cross-run cache,
+    and only then runs the cost model — storing the result in both.
+    Semantically identical to calling ``cost_scope`` directly.
+    """
+    key = _evaluation_key(
+        cfg, accelerator_fingerprint(accel), dataflow, options, scope
+    )
+    cost = _CACHE.get(key)
+    if cost is not None:
+        return cost
+    pcache = get_default_cache()
+    if pcache is not None:
+        cost = pcache.get(key)
+        if cost is not None:
+            _CACHE.put(key, cost)
+            return cost
+    cost = cost_scope(cfg, scope, accel, dataflow, options=options)
+    _CACHE.put(key, cost)
+    if pcache is not None:
+        pcache.put(key, cost)
+    return cost
 
 
 # ----------------------------------------------------------------------
@@ -501,19 +593,27 @@ class _ChunkTask:
     energy_table: Optional[EnergyTable]
     prune: bool
     bound: Optional[float]
+    cache_dir: Optional[str] = None
 
 
 def _evaluate_chunk(
     task: _ChunkTask,
-) -> List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]]:
+) -> List[Optional[Tuple[ScopeCost, Optional[EnergyReport], bool]]]:
     """Worker: evaluate each candidate, pruning against a local incumbent.
 
     The incoming ``bound`` is the incumbent at dispatch time; within the
     chunk the worker tightens it with its own results.  Pruning is
     strict (``>``) so equal-valued optima survive to the deterministic
     index-ordered selection in the parent.
+
+    When a persistent cache directory is configured the worker reads
+    and writes it directly: a hit skips the cost model (flagged so the
+    parent accounts it as a cache hit, not an evaluation) and every
+    fresh evaluation lands on disk even if the parent process dies.
     """
-    results: List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]] = []
+    pcache = open_cache(task.cache_dir) if task.cache_dir else None
+    accel_fp = accelerator_fingerprint(task.accel) if pcache else None
+    results: List[Optional[Tuple[ScopeCost, Optional[EnergyReport], bool]]] = []
     bound = task.bound
     for dataflow in task.dataflows:
         if task.prune and bound is not None:
@@ -524,14 +624,26 @@ def _evaluate_chunk(
             if lower is not None and lower > bound:
                 results.append(None)
                 continue
-        cost = cost_scope(
-            task.cfg, task.scope, task.accel, dataflow, options=task.options
+        key = (
+            _evaluation_key(
+                task.cfg, accel_fp, dataflow, task.options, task.scope
+            )
+            if pcache else None
         )
+        cost = pcache.get(key) if pcache else None
+        from_disk = cost is not None
+        if cost is None:
+            cost = cost_scope(
+                task.cfg, task.scope, task.accel, dataflow,
+                options=task.options,
+            )
+            if pcache:
+                pcache.put(key, cost)
         energy = (
             energy_report(cost.counts, task.energy_table)
             if task.need_energy else None
         )
-        results.append((cost, energy))
+        results.append((cost, energy, from_disk))
         value = task.objective.score(cost, energy)
         if bound is None or value < bound:
             bound = value
@@ -583,18 +695,24 @@ def run_search(
     if use_cache and _CACHE.maxsize != engine.cache_size:
         _CACHE.resize(engine.cache_size)
     accel_fp = accelerator_fingerprint(accel)
+    pcache = get_default_cache()
 
     n = len(dataflows)
     entries: List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]] = (
         [None] * n
     )
     cache_hits = 0
+    disk_hits = 0
     misses: List[int] = []
     for i, dataflow in enumerate(dataflows):
-        cost = (
-            _CACHE.get(_evaluation_key(cfg, accel_fp, dataflow, options, scope))
-            if use_cache else None
-        )
+        key = _evaluation_key(cfg, accel_fp, dataflow, options, scope)
+        cost = _CACHE.get(key) if use_cache else None
+        if cost is None and pcache is not None:
+            cost = pcache.get(key)
+            if cost is not None:
+                disk_hits += 1
+                if use_cache:
+                    _CACHE.put(key, cost)
         if cost is None:
             misses.append(i)
             continue
@@ -612,18 +730,17 @@ def run_search(
                 incumbent = value
 
     pruned = 0
+    prescan_disk_hits = disk_hits
 
-    def _absorb(index: int, cost: ScopeCost,
-                energy: Optional[EnergyReport]) -> None:
+    def _absorb(index: int, cost: ScopeCost, energy: Optional[EnergyReport],
+                write_disk: bool = True) -> None:
         nonlocal incumbent
         entries[index] = (cost, energy)
+        key = _evaluation_key(cfg, accel_fp, dataflows[index], options, scope)
         if use_cache:
-            _CACHE.put(
-                _evaluation_key(
-                    cfg, accel_fp, dataflows[index], options, scope
-                ),
-                cost,
-            )
+            _CACHE.put(key, cost)
+        if pcache is not None and write_disk:
+            pcache.put(key, cost)
         value = objective.score(cost, energy)
         if incumbent is None or value < incumbent:
             incumbent = value
@@ -676,6 +793,10 @@ def run_search(
                             energy_table=energy_table,
                             prune=prune,
                             bound=incumbent,
+                            cache_dir=(
+                                str(pcache.root) if pcache is not None
+                                else None
+                            ),
                         ),
                     )
                     for indices in wave
@@ -685,7 +806,14 @@ def run_search(
                         if result is None:
                             pruned += 1
                             continue
-                        _absorb(i, result[0], result[1])
+                        cost, energy, from_disk = result
+                        if from_disk:
+                            # The worker was scheduled a miss but found
+                            # the entry on disk (it was already stored,
+                            # or another process raced us to it).
+                            cache_hits += 1
+                            disk_hits += 1
+                        _absorb(i, cost, energy, write_disk=not from_disk)
 
     # Deterministic selection: first index attaining the minimum, which
     # is exactly ``min(points, key=...)`` over the full serial sweep.
@@ -714,14 +842,17 @@ def run_search(
             for i, entry in enumerate(entries)
             if entry is not None
         )
+    worker_disk_hits = disk_hits - prescan_disk_hits
     stats = SearchStats(
         enumerated=n,
-        evaluated=len(misses) - pruned,
+        evaluated=len(misses) - pruned - worker_disk_hits,
         pruned=pruned,
         cache_hits=cache_hits,
         wall_time_s=time.perf_counter() - start,
         jobs=engine.jobs,
+        disk_hits=disk_hits,
     )
+    _accumulate(stats)
     return DSEResult(
         best=best, points=points, objective=objective, stats=stats
     )

@@ -1,0 +1,257 @@
+"""Parallel experiment pipeline: run the registry as independent jobs.
+
+The registry in :mod:`repro.experiments.runner` defines ~22 independent
+experiments; ``reproduce.sh`` and the CLI used to run them one after
+another in a single process.  This module schedules any subset of them
+across a ``ProcessPoolExecutor`` — experiments are the unit of
+parallelism (the DSE engine inside each stays serial by default), and
+the persistent evaluation cache (:mod:`repro.core.cache`) is the shared
+substrate underneath: workers exploring overlapping grids reuse each
+other's evaluations through disk, and a second run of the whole suite
+starts warm.
+
+Every experiment reports its wall time, its accumulated
+:class:`~repro.core.engine.SearchStats` totals and the persistent-cache
+traffic it generated; :func:`write_manifest` persists the reports plus
+a JSON manifest of those numbers so runs can be compared byte-for-byte
+(the report text is deterministic — serial, parallel and warm-cache
+runs all produce identical bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import (
+    cost_model_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+    resolve_cache_dir,
+)
+from repro.core.engine import reset_search_totals, search_totals
+from repro.experiments.runner import (
+    experiment_names,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "PipelineResult",
+    "run_pipeline",
+    "write_manifest",
+    "MANIFEST_SCHEMA",
+]
+
+MANIFEST_SCHEMA = "repro-pipeline-manifest/1"
+
+#: Signature of the progress callback: (finished run, done count, total).
+ProgressFn = Callable[["ExperimentRun", int, int], None]
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """Outcome of one experiment job."""
+
+    name: str
+    status: str  # "ok" | "error"
+    report: str  # report text, or the error message on failure
+    wall_time_s: float
+    search: Dict[str, float]  # accumulated SearchStats totals
+    cache: Dict[str, int]  # persistent-cache traffic of this job
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def report_sha256(self) -> str:
+        return hashlib.sha256(self.report.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one :func:`run_pipeline` call (runs in request order)."""
+
+    runs: Tuple[ExperimentRun, ...]
+    wall_time_s: float
+    workers: int
+    cache_dir: Optional[str]
+
+    @property
+    def failures(self) -> Tuple[ExperimentRun, ...]:
+        return tuple(r for r in self.runs if not r.ok)
+
+    def aggregate_search(self) -> Dict[str, float]:
+        """Summed DSE work accounting over every experiment."""
+        totals: Dict[str, float] = {}
+        for run in self.runs:
+            for field, value in run.search.items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+    def aggregate_cache(self) -> Dict[str, int]:
+        """Summed persistent-cache traffic over every experiment."""
+        totals: Dict[str, int] = {}
+        for run in self.runs:
+            for field, value in run.cache.items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+
+def _execute(name: str, jobs: Optional[int],
+             cache_dir: Optional[str]) -> ExperimentRun:
+    """Run one experiment; importable at top level so pools can pickle it.
+
+    ``cache_dir`` is threaded explicitly (not inherited) so the pipeline
+    behaves identically under fork and spawn start methods.
+    """
+    with default_cache_dir(cache_dir):
+        reset_search_totals()
+        pcache = get_default_cache()
+        cache_before = pcache.stats.copy() if pcache is not None else None
+        start = time.perf_counter()
+        try:
+            report = run_experiment(name, jobs=jobs)
+            status = "ok"
+        except Exception as exc:  # noqa: BLE001 - one job must not kill the run
+            report = f"{type(exc).__name__}: {exc}"
+            status = "error"
+        wall = time.perf_counter() - start
+        cache_stats = (
+            (pcache.stats - cache_before).as_dict()
+            if pcache is not None else {}
+        )
+        return ExperimentRun(
+            name=name,
+            status=status,
+            report=report,
+            wall_time_s=wall,
+            search=search_totals(),
+            cache=cache_stats,
+        )
+
+
+def run_pipeline(
+    names: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressFn] = None,
+) -> PipelineResult:
+    """Run ``names`` (default: the whole registry) as parallel jobs.
+
+    ``workers`` is the experiment-level process count (default: all
+    cores, capped at the job count); ``workers=1`` runs the exact
+    serial loop in-process.  ``jobs`` is forwarded to the DSE engine
+    inside each experiment and defaults to serial — experiments are the
+    parallel unit.  ``cache_dir`` selects the shared persistent cache
+    (``None`` defers to the ambient default / ``REPRO_CACHE_DIR``).
+
+    A failing experiment is reported with ``status="error"`` and does
+    not abort the others.  ``progress`` is invoked in the parent, in
+    completion order, as each experiment finishes.
+    """
+    selected = list(names) if names is not None else experiment_names()
+    known = set(experiment_names())
+    unknown = [n for n in selected if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments {unknown}; choose from "
+            f"{experiment_names()}"
+        )
+    if not selected:
+        raise ValueError("no experiments selected")
+    if workers is None:
+        workers = max(1, min(len(selected), os.cpu_count() or 1))
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if cache_dir is None:
+        cache_dir = resolve_cache_dir()
+
+    start = time.perf_counter()
+    outcomes: Dict[str, ExperimentRun] = {}
+    done = 0
+    if workers == 1:
+        for name in selected:
+            run = _execute(name, jobs, cache_dir)
+            outcomes[name] = run
+            done += 1
+            if progress is not None:
+                progress(run, done, len(selected))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(_execute, name, jobs, cache_dir): name
+                for name in selected
+            }
+            while pending:
+                finished, _ = wait(
+                    set(pending), return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    name = pending.pop(future)
+                    run = future.result()
+                    outcomes[name] = run
+                    done += 1
+                    if progress is not None:
+                        progress(run, done, len(selected))
+    return PipelineResult(
+        runs=tuple(outcomes[name] for name in selected),
+        wall_time_s=time.perf_counter() - start,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+
+
+def write_manifest(result: PipelineResult, out_dir: os.PathLike) -> Path:
+    """Persist reports and the JSON manifest; returns the manifest path.
+
+    Layout: ``<out_dir>/reports/<name>.txt`` per experiment plus
+    ``<out_dir>/manifest.json``.  Report files hold the exact report
+    bytes (trailing newline added), so two runs can be compared with
+    ``diff -r``; the manifest additionally records each report's
+    sha256, per-experiment timing/search/cache numbers and the
+    aggregate totals.
+    """
+    out = Path(out_dir)
+    reports_dir = out / "reports"
+    reports_dir.mkdir(parents=True, exist_ok=True)
+    experiments: List[dict] = []
+    for run in result.runs:
+        report_path = reports_dir / f"{run.name}.txt"
+        report_path.write_text(run.report + "\n")
+        experiments.append(
+            {
+                "name": run.name,
+                "status": run.status,
+                "wall_time_s": run.wall_time_s,
+                "report_path": os.path.relpath(report_path, out),
+                "report_sha256": run.report_sha256(),
+                "search": run.search,
+                "cache": run.cache,
+            }
+        )
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "cost_model_fingerprint": cost_model_fingerprint(),
+        "workers": result.workers,
+        "cache_dir": result.cache_dir,
+        "wall_time_s": result.wall_time_s,
+        "experiments": experiments,
+        "aggregate": {
+            "experiments": len(result.runs),
+            "failures": len(result.failures),
+            "search": result.aggregate_search(),
+            "cache": result.aggregate_cache(),
+        },
+    }
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
+                             + "\n")
+    return manifest_path

@@ -1,13 +1,16 @@
 """Experiment registry: one entry per paper table/figure.
 
-Each entry is a zero-argument callable returning the experiment's
-formatted report; the CLI and the benchmark harness both dispatch
-through this registry so there is exactly one definition of what each
-experiment runs.
+A single spec table (:data:`_SPECS`) defines, per experiment, how to
+produce its artifact and how to render it; the text registry
+(:data:`EXPERIMENTS`), the raw-row registry (:data:`RAW_EXPERIMENTS`)
+and the parallel pipeline (:mod:`repro.experiments.pipeline`) are all
+derived from it, so the reduced sweep grids are written exactly once
+and the registries cannot drift apart.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.engine import default_jobs
@@ -33,166 +36,139 @@ from repro.experiments import (
 )
 from repro.ops.attention import Scope
 
-__all__ = ["EXPERIMENTS", "RAW_EXPERIMENTS", "run_experiment",
-           "run_experiment_raw", "experiment_names"]
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "RAW_EXPERIMENTS",
+           "run_experiment", "run_experiment_raw", "experiment_names"]
 
 # Reduced sweep parameters keep every registry entry under ~1 minute;
 # the underlying run() functions accept the paper's full grids.
 _QUICK_BUFFERS = tuple(
     kb * 1024 for kb in (20, 128, 512, 4096, 65536, 2 * 1024 * 1024)
 )
+_QUICK_FIG12B_SEQS = (2048, 8192, 32768, 131072, 524288)
 
 
-def _table1() -> str:
-    return table1.format_report(table1.run())
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """How to produce and render one experiment.
+
+    ``run`` computes the artifact once; ``text`` renders the report
+    from it and ``rows`` extracts the JSON-exportable rows (identity by
+    default).  Both registries call the *same* ``run``, so grid
+    arguments exist in one place only.
+    """
+
+    run: Callable[[], object]
+    text: Callable[[object], str]
+    rows: Callable[[object], object] = field(default=lambda artifact: artifact)
 
 
-def _table2() -> str:
-    return table2.format_report(table2.run())
-
-
-def _fig2() -> str:
-    return fig2.format_report(fig2.run())
-
-
-def _fig8_edge() -> str:
-    cells = fig8.run(
-        platform="edge", seqs=(512, 65536), scopes=(Scope.LA, Scope.BLOCK),
-        buffer_sizes=_QUICK_BUFFERS,
+def _fig8_spec(platform: str, seqs, label: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        run=lambda: fig8.run(
+            platform=platform, seqs=seqs, scopes=(Scope.LA, Scope.BLOCK),
+            buffer_sizes=_QUICK_BUFFERS,
+        ),
+        text=lambda cells: fig8.format_report(cells, platform=label),
     )
-    return fig8.format_report(cells, platform="edge/BERT")
 
 
-def _fig8_cloud() -> str:
-    cells = fig8.run(
-        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA, Scope.BLOCK),
-        buffer_sizes=_QUICK_BUFFERS,
+def _fig9_spec(platform: str, seqs, label: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        run=lambda: fig9.run(
+            platform=platform, seqs=seqs, scopes=(Scope.LA,),
+            buffer_sizes=_QUICK_BUFFERS,
+        ),
+        text=lambda cells: fig9.format_report(cells, platform=label),
     )
-    return fig8.format_report(cells, platform="cloud/XLM")
 
 
-def _fig9_edge() -> str:
-    cells = fig9.run(
-        platform="edge", seqs=(512, 65536), scopes=(Scope.LA,),
-        buffer_sizes=_QUICK_BUFFERS,
-    )
-    return fig9.format_report(cells, platform="edge/BERT")
-
-
-def _fig9_cloud() -> str:
-    cells = fig9.run(
-        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA,),
-        buffer_sizes=_QUICK_BUFFERS,
-    )
-    return fig9.format_report(cells, platform="cloud/XLM")
-
-
-def _fig10() -> str:
-    points, result = fig10.run()
-    return fig10.format_report(points, result)
-
-
-def _fig11_edge() -> str:
-    return fig11.format_report(fig11.run(platform="edge"))
-
-
-def _fig11_cloud() -> str:
-    return fig11.format_report(fig11.run(platform="cloud"))
-
-
-def _fig12a() -> str:
-    rows = fig12.run_speedup_grid()
-    return fig12.format_speedup_report(rows)
-
-
-def _fig12b() -> str:
-    rows = fig12.run_bw_requirement(
-        seqs=(2048, 8192, 32768, 131072, 524288)
-    )
-    return fig12.format_bw_report(rows)
-
-
-def _iso_area() -> str:
-    return iso_area.format_report(iso_area.run())
-
-
-def _summary() -> str:
-    return summary.format_report(summary.run())
-
-
-def _ext_online() -> str:
-    return ext_online.format_report(ext_online.run())
-
-
-def _ext_sparse() -> str:
-    return ext_sparse.format_report(ext_sparse.run())
-
-
-def _ext_suite() -> str:
-    return ext_suite.format_report(ext_suite.run())
-
-
-def _ext_decode() -> str:
-    return ext_decode.format_report(ext_decode.run())
-
-
-def _ext_scaleout() -> str:
-    return ext_scaleout.format_report(ext_scaleout.run())
-
-
-def _ext_quant() -> str:
-    return ext_quant.format_report(ext_quant.run())
-
-
-def _ext_batch() -> str:
-    return ext_batch.format_report(ext_batch.run())
-
-
-def _ext_hierarchy() -> str:
-    return ext_hierarchy.format_report(ext_hierarchy.run())
-
-
-# Raw-row producers for JSON export (same reduced grids as the text
-# registry).  Not every artifact has a flat row list (fig2 returns a
-# composite report object; to_jsonable handles it anyway).
-RAW_EXPERIMENTS: Dict[str, Callable[[], object]] = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "fig2": fig2.run,
-    "fig8-edge": lambda: fig8.run(
-        platform="edge", seqs=(512, 65536), scopes=(Scope.LA, Scope.BLOCK),
-        buffer_sizes=_QUICK_BUFFERS,
+_SPECS: Dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(run=table1.run, text=table1.format_report),
+    "table2": ExperimentSpec(run=table2.run, text=table2.format_report),
+    "fig2": ExperimentSpec(run=fig2.run, text=fig2.format_report),
+    "fig8-edge": _fig8_spec("edge", (512, 65536), "edge/BERT"),
+    "fig8-cloud": _fig8_spec("cloud", (4096, 65536), "cloud/XLM"),
+    "fig9-edge": _fig9_spec("edge", (512, 65536), "edge/BERT"),
+    "fig9-cloud": _fig9_spec("cloud", (4096, 65536), "cloud/XLM"),
+    "fig10": ExperimentSpec(
+        run=fig10.run,  # -> (points, result)
+        text=lambda artifact: fig10.format_report(*artifact),
+        rows=lambda artifact: artifact[0],
     ),
-    "fig8-cloud": lambda: fig8.run(
-        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA, Scope.BLOCK),
-        buffer_sizes=_QUICK_BUFFERS,
+    "fig11-edge": ExperimentSpec(
+        run=lambda: fig11.run(platform="edge"), text=fig11.format_report,
     ),
-    "fig9-edge": lambda: fig9.run(
-        platform="edge", seqs=(512, 65536), scopes=(Scope.LA,),
-        buffer_sizes=_QUICK_BUFFERS,
+    "fig11-cloud": ExperimentSpec(
+        run=lambda: fig11.run(platform="cloud"), text=fig11.format_report,
     ),
-    "fig9-cloud": lambda: fig9.run(
-        platform="cloud", seqs=(4096, 65536), scopes=(Scope.LA,),
-        buffer_sizes=_QUICK_BUFFERS,
+    "fig12a": ExperimentSpec(
+        run=fig12.run_speedup_grid, text=fig12.format_speedup_report,
     ),
-    "fig10": lambda: fig10.run()[0],
-    "fig11-edge": lambda: fig11.run(platform="edge"),
-    "fig11-cloud": lambda: fig11.run(platform="cloud"),
-    "fig12a": fig12.run_speedup_grid,
-    "fig12b": lambda: fig12.run_bw_requirement(
-        seqs=(2048, 8192, 32768, 131072, 524288)
+    "fig12b": ExperimentSpec(
+        run=lambda: fig12.run_bw_requirement(seqs=_QUICK_FIG12B_SEQS),
+        text=fig12.format_bw_report,
     ),
-    "iso-area": iso_area.run,
-    "ext-online": ext_online.run,
-    "ext-sparse": ext_sparse.run,
-    "ext-suite": ext_suite.run,
-    "ext-decode": ext_decode.run,
-    "ext-scaleout": ext_scaleout.run,
-    "ext-quant": ext_quant.run,
-    "ext-batch": ext_batch.run,
-    "ext-hierarchy": ext_hierarchy.run,
-    "summary": summary.run,
+    "iso-area": ExperimentSpec(run=iso_area.run, text=iso_area.format_report),
+    "ext-online": ExperimentSpec(
+        run=ext_online.run, text=ext_online.format_report,
+    ),
+    "ext-sparse": ExperimentSpec(
+        run=ext_sparse.run, text=ext_sparse.format_report,
+    ),
+    "ext-suite": ExperimentSpec(
+        run=ext_suite.run, text=ext_suite.format_report,
+    ),
+    "ext-decode": ExperimentSpec(
+        run=ext_decode.run, text=ext_decode.format_report,
+    ),
+    "ext-scaleout": ExperimentSpec(
+        run=ext_scaleout.run, text=ext_scaleout.format_report,
+    ),
+    "ext-quant": ExperimentSpec(
+        run=ext_quant.run, text=ext_quant.format_report,
+    ),
+    "ext-batch": ExperimentSpec(
+        run=ext_batch.run, text=ext_batch.format_report,
+    ),
+    "ext-hierarchy": ExperimentSpec(
+        run=ext_hierarchy.run, text=ext_hierarchy.format_report,
+    ),
+    "summary": ExperimentSpec(run=summary.run, text=summary.format_report),
 }
+
+
+# Derived registries (kept as plain name->callable dicts for backward
+# compatibility with callers and tests that dispatch through them).
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    name: (lambda spec=spec: spec.text(spec.run()))
+    for name, spec in _SPECS.items()
+}
+
+RAW_EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    name: (lambda spec=spec: spec.rows(spec.run()))
+    for name, spec in _SPECS.items()
+}
+
+
+def experiment_names() -> List[str]:
+    return sorted(_SPECS)
+
+
+def run_experiment(name: str, jobs: Optional[int] = None) -> str:
+    """Run one registered experiment and return its report.
+
+    ``jobs`` sets the DSE engine's worker-process count for the
+    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
+    current default.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {experiment_names()}"
+        ) from None
+    with default_jobs(jobs):
+        return runner()
 
 
 def run_experiment_raw(name: str, jobs: Optional[int] = None) -> object:
@@ -208,53 +184,6 @@ def run_experiment_raw(name: str, jobs: Optional[int] = None) -> object:
         raise ValueError(
             f"no raw rows for {name!r}; choose from "
             f"{sorted(RAW_EXPERIMENTS)}"
-        ) from None
-    with default_jobs(jobs):
-        return runner()
-
-
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
-    "table1": _table1,
-    "table2": _table2,
-    "fig2": _fig2,
-    "fig8-edge": _fig8_edge,
-    "fig8-cloud": _fig8_cloud,
-    "fig9-edge": _fig9_edge,
-    "fig9-cloud": _fig9_cloud,
-    "fig10": _fig10,
-    "fig11-edge": _fig11_edge,
-    "fig11-cloud": _fig11_cloud,
-    "fig12a": _fig12a,
-    "fig12b": _fig12b,
-    "iso-area": _iso_area,
-    "ext-online": _ext_online,
-    "ext-sparse": _ext_sparse,
-    "ext-suite": _ext_suite,
-    "ext-decode": _ext_decode,
-    "ext-scaleout": _ext_scaleout,
-    "ext-quant": _ext_quant,
-    "ext-batch": _ext_batch,
-    "ext-hierarchy": _ext_hierarchy,
-    "summary": _summary,
-}
-
-
-def experiment_names() -> List[str]:
-    return sorted(EXPERIMENTS)
-
-
-def run_experiment(name: str, jobs: Optional[int] = None) -> str:
-    """Run one registered experiment and return its report.
-
-    ``jobs`` sets the DSE engine's worker-process count for the
-    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
-    current default.
-    """
-    try:
-        runner = EXPERIMENTS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from {experiment_names()}"
         ) from None
     with default_jobs(jobs):
         return runner()

@@ -1,0 +1,259 @@
+"""Tests for the persistent cross-run DSE evaluation cache."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.arch.presets import edge
+from repro.core import cache as cache_mod
+from repro.core.cache import (
+    CacheStats,
+    PersistentCache,
+    cost_model_fingerprint,
+    default_cache_dir,
+    get_default_cache,
+    open_cache,
+    resolve_cache_dir,
+    set_default_cache_dir,
+)
+from repro.core.dse import Objective, search
+from repro.core.engine import clear_evaluation_cache, evaluate_cost
+from repro.core.dataflow import flat_r
+from repro.core.perf import cost_scope
+from repro.models.configs import model_config
+from repro.ops.attention import Scope
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PersistentCache(tmp_path / "cache")
+
+
+def _entry_file(cache: PersistentCache, key) -> os.PathLike:
+    path, _ = cache._entry_path(key)
+    return path
+
+
+class TestRoundTrip:
+    def test_get_returns_stored_value(self, cache):
+        key = ("workload", 1, 2.5)
+        cache.put(key, {"cycles": 123.0})
+        assert cache.get(key) == {"cycles": 123.0}
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_miss_counts(self, cache):
+        assert cache.get(("absent",)) is None
+        assert cache.stats.misses == 1
+
+    def test_scope_cost_round_trips_exactly(self, cache, bert_512):
+        cost = cost_scope(bert_512, Scope.LA, edge(), flat_r(64))
+        cache.put(("k",), cost)
+        restored = cache.get(("k",))
+        assert restored == cost
+        assert restored.total_cycles == cost.total_cycles
+
+    def test_overwrite_is_last_writer_wins(self, cache):
+        cache.put(("k",), 1)
+        cache.put(("k",), 2)
+        assert cache.get(("k",)) == 2
+        assert cache.entry_count() == 1
+
+
+class TestCorruption:
+    """Corrupted or truncated entries are skipped — counted, not fatal."""
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        key = ("k", 1)
+        cache.put(key, "value")
+        path = _entry_file(cache, key)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists(), "corrupt entry should be discarded"
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        key = ("k", 2)
+        cache.put(key, "value")
+        _entry_file(cache, key).write_bytes(b"not a pickle at all")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_header_is_a_miss(self, cache):
+        key = ("k", 3)
+        cache.put(key, "value")
+        _entry_file(cache, key).write_bytes(
+            pickle.dumps(("some-other-schema", repr(key), "value"))
+        )
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_cache_recovers_after_corruption(self, cache):
+        key = ("k", 4)
+        cache.put(key, "old")
+        _entry_file(cache, key).write_bytes(b"\x00")
+        assert cache.get(key) is None
+        cache.put(key, "new")
+        assert cache.get(key) == "new"
+
+
+class TestFingerprintInvalidation:
+    def test_fingerprint_bump_invalidates_stale_hits(self, tmp_path):
+        old = PersistentCache(tmp_path, fingerprint="a" * 64)
+        old.put(("k",), "stale")
+        bumped = PersistentCache(tmp_path, fingerprint="b" * 64)
+        assert bumped.get(("k",)) is None, "stale generation must not hit"
+        bumped.put(("k",), "fresh")
+        assert bumped.get(("k",)) == "fresh"
+        assert old.get(("k",)) == "stale", "generations are independent"
+
+    def test_evict_sweeps_stale_generations(self, tmp_path):
+        old = PersistentCache(tmp_path, fingerprint="a" * 64)
+        for i in range(5):
+            old.put(("k", i), i)
+        bumped = PersistentCache(tmp_path, fingerprint="b" * 64)
+        removed = bumped.evict()
+        assert removed == 5
+        assert old.entry_count() == 0
+        assert bumped.stats.evictions == 5
+
+    def test_schema_version_feeds_fingerprint(self, monkeypatch):
+        before = cost_model_fingerprint()
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999)
+        assert cost_model_fingerprint() != before
+
+
+class TestEviction:
+    def test_max_entries_enforced_lru(self, tmp_path):
+        cache = PersistentCache(tmp_path, max_entries=3, evict_interval=1000)
+        for i in range(5):
+            cache.put(("k", i), i)
+            os.utime(_entry_file(cache, ("k", i)), (i, i))
+        # Refresh entry 0 so it becomes the most recently used.
+        now = 100.0
+        os.utime(_entry_file(cache, ("k", 0)), (now, now))
+        cache.evict()
+        assert cache.entry_count() == 3
+        assert cache.get(("k", 0)) == 0, "recently used entry survives"
+        assert cache.get(("k", 1)) is None
+
+    def test_put_triggers_periodic_eviction(self, tmp_path):
+        cache = PersistentCache(tmp_path, max_entries=2, evict_interval=4)
+        for i in range(4):
+            cache.put(("k", i), i)
+        assert cache.entry_count() == 2
+
+    def test_clear_empties_live_generation(self, cache):
+        cache.put(("k",), 1)
+        cache.clear()
+        assert cache.entry_count() == 0
+        assert cache.get(("k",)) is None
+
+
+def _hammer(root: str, fingerprint: str, offset: int, count: int) -> None:
+    cache = PersistentCache(root, fingerprint=fingerprint)
+    for i in range(count):
+        # Overlapping range: both writers fight over half the keys.
+        cache.put(("shared", (offset + i) % (count * 3 // 2)), i)
+
+
+class TestConcurrency:
+    def test_two_processes_do_not_lose_or_mangle_entries(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        fingerprint = "c" * 64
+        count = 60
+        procs = [
+            ctx.Process(
+                target=_hammer,
+                args=(str(tmp_path), fingerprint, off, count),
+            )
+            for off in (0, count // 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        reader = PersistentCache(tmp_path, fingerprint=fingerprint)
+        written = set(range(count * 3 // 2))
+        values = {k: reader.get(("shared", k)) for k in written}
+        assert all(v is not None for v in values.values()), (
+            "concurrent writers lost entries"
+        )
+        assert reader.stats.corrupt == 0, "concurrent writers mangled entries"
+
+
+class TestDefaultPlumbing:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setattr(cache_mod, "_default_dir", None)
+        assert resolve_cache_dir() is None
+        assert get_default_cache() is None
+
+    def test_env_var_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(cache_mod, "_default_dir", None)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = get_default_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+
+    def test_explicit_empty_string_overrides_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with default_cache_dir(""):
+            assert get_default_cache() is None
+
+    def test_context_manager_restores(self, tmp_path):
+        previous = set_default_cache_dir(None)
+        try:
+            with default_cache_dir(str(tmp_path)):
+                assert resolve_cache_dir() == str(tmp_path)
+            assert resolve_cache_dir() is None
+        finally:
+            set_default_cache_dir(previous)
+
+    def test_open_cache_is_per_process_singleton(self, tmp_path):
+        assert open_cache(tmp_path) is open_cache(tmp_path)
+
+
+class TestEngineIntegration:
+    def test_second_search_hits_disk(self, tmp_path, bert_512):
+        accel = edge()
+        with default_cache_dir(str(tmp_path)):
+            clear_evaluation_cache()
+            cold = search(bert_512, accel, objective=Objective.RUNTIME,
+                          retain_points=False)
+            assert cold.stats.evaluated > 0
+            assert cold.stats.disk_hits == 0
+            # New process simulated by dropping the in-memory LRU.
+            clear_evaluation_cache()
+            warm = search(bert_512, accel, objective=Objective.RUNTIME,
+                          retain_points=False)
+        assert warm.stats.evaluated == 0
+        assert warm.stats.disk_hits > 0
+        assert warm.stats.disk_hits <= warm.stats.cache_hits
+        assert warm.best.dataflow == cold.best.dataflow
+        assert warm.best.cost.total_cycles == cold.best.cost.total_cycles
+
+    def test_evaluate_cost_round_trips_through_disk(self, tmp_path,
+                                                    small_cfg):
+        accel = edge()
+        dataflow = flat_r(8)
+        with default_cache_dir(str(tmp_path)):
+            clear_evaluation_cache()
+            first = evaluate_cost(small_cfg, Scope.LA, accel, dataflow)
+            clear_evaluation_cache()
+            second = evaluate_cost(small_cfg, Scope.LA, accel, dataflow)
+            pcache = get_default_cache()
+        assert first == second
+        assert pcache.stats.hits >= 1
+        assert second == cost_scope(small_cfg, Scope.LA, accel, dataflow)
+
+    def test_stats_deltas_subtract(self):
+        a = CacheStats(hits=5, misses=3, writes=2, corrupt=1, evictions=0)
+        b = CacheStats(hits=1, misses=1, writes=1, corrupt=0, evictions=0)
+        assert (a - b) == CacheStats(hits=4, misses=2, writes=1, corrupt=1,
+                                     evictions=0)
