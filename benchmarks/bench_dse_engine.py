@@ -26,8 +26,11 @@ from repro.core.engine import (
 from repro.models.configs import model_config
 from repro.ops.attention import Scope
 
-NAIVE = EngineOptions(jobs=1, prune=False, cache_size=0)
-FAST = EngineOptions(jobs=1, prune=True, cache_size=8192)
+# batch=False on both sides: this benchmark isolates the scalar
+# engine's pruning/memoization; the vectorized backend has its own
+# benchmark in bench_batch_model.py.
+NAIVE = EngineOptions(jobs=1, prune=False, cache_size=0, batch=False)
+FAST = EngineOptions(jobs=1, prune=True, cache_size=8192, batch=False)
 
 SCOPES = (Scope.LA, Scope.BLOCK)
 OBJECTIVES = (Objective.RUNTIME, Objective.ENERGY, Objective.EDP)

@@ -8,4 +8,4 @@ setuptools predates the self-contained PEP 660 editable-install path
 
 from setuptools import setup
 
-setup()
+setup(install_requires=["numpy>=1.24"])

@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
              "$REPRO_CACHE_DIR, or no cache); results are identical "
              "with or without it",
     )
+    parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the vectorized batch scoring backend and use the "
+             "per-candidate scalar loop (results are identical; this "
+             "is an escape hatch and an equivalence-checking aid)",
+    )
     pipe = parser.add_argument_group("run-all mode")
     pipe.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -199,6 +205,7 @@ def _run_pipeline_mode(args) -> int:
         result = run_pipeline(
             names=names, workers=args.workers, jobs=args.jobs,
             progress=None if args.quiet else _progress,
+            batch=False if args.no_batch else None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -233,9 +240,10 @@ def _run_pipeline_mode(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.core.cache import default_cache_dir
-    from repro.core.engine import default_jobs
+    from repro.core.engine import default_batch, default_jobs
 
     args = build_parser().parse_args(argv)
+    batch = False if args.no_batch else None
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -249,7 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment in ("cost", "svg"):
         start = time.perf_counter()
         try:
-            with default_cache_dir(args.cache_dir), default_jobs(args.jobs):
+            with default_cache_dir(args.cache_dir), default_jobs(args.jobs), \
+                    default_batch(batch):
                 report = _run_cost(args) if args.experiment == "cost" else (
                     _run_svg(args)
                 )
@@ -271,9 +280,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             with default_cache_dir(args.cache_dir):
                 if args.json:
-                    report = dumps(run_experiment_raw(name, jobs=args.jobs))
+                    report = dumps(
+                        run_experiment_raw(name, jobs=args.jobs, batch=batch)
+                    )
                 else:
-                    report = run_experiment(name, jobs=args.jobs)
+                    report = run_experiment(name, jobs=args.jobs, batch=batch)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -8,6 +8,9 @@
 * :mod:`repro.core.dse` — exhaustive design-space exploration.
 * :mod:`repro.core.engine` — the search engine behind the DSE
   (parallel fan-out, bound-based pruning, lazy energy, memoization).
+* :mod:`repro.core.batch` — the vectorized batch backend scoring the
+  whole candidate grid as NumPy arrays, bit-for-bit equal to the
+  scalar model.
 * :mod:`repro.core.cache` — the persistent cross-run evaluation cache
   underneath the engine (``--cache-dir`` / ``REPRO_CACHE_DIR``).
 * :mod:`repro.core.configs` — the named dataflow/accelerator
@@ -67,12 +70,19 @@ from repro.core.cache import (
     get_default_cache,
     set_default_cache_dir,
 )
+from repro.core.batch import (
+    BatchFallback,
+    GridEvaluation,
+    best_index,
+    evaluate_grid,
+)
 from repro.core.engine import (
     EngineOptions,
     SearchStats,
     accelerator_fingerprint,
     clear_evaluation_cache,
     cycles_lower_bound,
+    default_batch,
     default_jobs,
     evaluate_cost,
     evaluation_cache_info,
@@ -126,11 +136,16 @@ __all__ = [
     "SearchSpace",
     "enumerate_dataflows",
     "search",
+    "BatchFallback",
+    "GridEvaluation",
+    "best_index",
+    "evaluate_grid",
     "EngineOptions",
     "SearchStats",
     "accelerator_fingerprint",
     "clear_evaluation_cache",
     "cycles_lower_bound",
+    "default_batch",
     "default_jobs",
     "evaluate_cost",
     "evaluation_cache_info",

@@ -77,6 +77,7 @@ _FINGERPRINT_MODULES: Tuple[str, ...] = (
     "repro.core.perf",
     "repro.core.footprint",
     "repro.core.tiling",
+    "repro.core.batch",
     "repro.core.dataflow",
     "repro.ops.attention",
     "repro.ops.operator",

@@ -159,8 +159,9 @@ def _default_row_choices(seq_q: int) -> Tuple[int, ...]:
     while r <= seq_q and r <= 16384:
         rows.append(r)
         r *= 4
-    if not rows or rows[-1] != min(seq_q, 16384):
-        rows.append(min(seq_q, 16384))
+    cap = min(seq_q, 16384)
+    if cap not in rows:
+        rows.append(cap)
     return tuple(rows)
 
 

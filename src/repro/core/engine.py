@@ -101,6 +101,7 @@ __all__ = [
     "get_default_engine",
     "set_default_engine",
     "default_jobs",
+    "default_batch",
     "reset_search_totals",
     "search_totals",
 ]
@@ -131,12 +132,21 @@ class EngineOptions:
     chunk_size:
         Candidates per parallel work unit; default splits the miss list
         into about four chunks per worker.
+    batch:
+        Use the vectorized batch backend (:mod:`repro.core.batch`) as
+        the default scoring stage when the caller does not retain the
+        full point set.  The batch path scores the whole grid as NumPy
+        arrays — bit-for-bit equal to the scalar model — and only the
+        winner gets a full scalar ``ScopeCost`` breakdown.  ``False``
+        (the ``--no-batch`` escape hatch) restores the per-candidate
+        scalar loop with bound-based pruning.
     """
 
     jobs: int = 1
     prune: bool = True
     cache_size: int = 8192
     chunk_size: Optional[int] = None
+    batch: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -155,7 +165,10 @@ class SearchStats:
     speedup story of a sweep is the fraction of ``enumerated`` that
     never reached the cost model.  ``disk_hits`` is the subset of
     ``cache_hits`` served by the persistent cross-run cache rather than
-    the in-process LRU.
+    the in-process LRU.  ``batch_evaluations`` counts candidates scored
+    by the vectorized backend; it sits outside the invariant — a
+    batch-scored loser is accounted as ``pruned`` (it provably cannot
+    win) and only the winner's scalar breakdown counts as ``evaluated``.
     """
 
     enumerated: int
@@ -165,6 +178,7 @@ class SearchStats:
     wall_time_s: float
     jobs: int
     disk_hits: int = 0
+    batch_evaluations: int = 0
 
     def __post_init__(self) -> None:
         if self.enumerated != self.cache_hits + self.pruned + self.evaluated:
@@ -173,6 +187,8 @@ class SearchStats:
             )
         if not 0 <= self.disk_hits <= self.cache_hits:
             raise ValueError("disk_hits must lie within cache_hits")
+        if self.batch_evaluations < 0:
+            raise ValueError("batch_evaluations must be non-negative")
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +227,23 @@ def default_jobs(jobs: Optional[int]) -> Iterator[None]:
         set_default_engine(previous)
 
 
+@contextmanager
+def default_batch(batch: Optional[bool]) -> Iterator[None]:
+    """Temporarily toggle the batch backend (``--no-batch`` plumbing).
+
+    ``None`` leaves the default untouched, so callers can pass an
+    optional CLI flag straight through.
+    """
+    if batch is None:
+        yield
+        return
+    previous = set_default_engine(replace(_default_engine, batch=batch))
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
 # ----------------------------------------------------------------------
 # per-process search accounting (summed over every run_search call)
 # ----------------------------------------------------------------------
@@ -221,6 +254,7 @@ _TOTALS_ZERO = {
     "pruned": 0,
     "cache_hits": 0,
     "disk_hits": 0,
+    "batch_evaluations": 0,
     "wall_time_s": 0.0,
 }
 _totals = dict(_TOTALS_ZERO)
@@ -246,6 +280,7 @@ def _accumulate(stats: SearchStats) -> None:
     _totals["pruned"] += stats.pruned
     _totals["cache_hits"] += stats.cache_hits
     _totals["disk_hits"] += stats.disk_hits
+    _totals["batch_evaluations"] += stats.batch_evaluations
     _totals["wall_time_s"] += stats.wall_time_s
 
 
@@ -650,6 +685,194 @@ def _evaluate_chunk(
     return results
 
 
+def _batch_search(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    scope: Scope,
+    objective: Objective,
+    options: PerfOptions,
+    energy_table: Optional[EnergyTable],
+    engine: EngineOptions,
+    dataflows: List[Dataflow],
+    accel_fp: tuple,
+    pcache: Optional[PersistentCache],
+    use_cache: bool,
+    start: float,
+) -> Optional[DSEResult]:
+    """Vectorized scoring stage: the whole grid in one array program.
+
+    Composes with both cache levels twice over:
+
+    - A **winner memo** keyed on the full search identity short-circuits
+      repeat searches (the warm-pipeline path): the remembered winner's
+      ``ScopeCost`` is fetched — or at worst recomputed once — and no
+      grid evaluation runs at all.
+    - On a memo miss, per-candidate cache entries are prescanned exactly
+      like the scalar path; only the *misses* go through
+      :func:`repro.core.batch.evaluate_grid`, and cached scalar scores
+      merge with the batch score array (safe because the two paths are
+      bit-for-bit equal).  ``np.argmin`` over the merged array is the
+      array-level replacement for the per-candidate prune-bound loop.
+
+    Returns ``None`` when the batch backend cannot represent the search
+    exactly (:class:`~repro.core.batch.BatchFallback`), sending the
+    caller down the scalar path.
+    """
+    try:
+        from repro.core.batch import BatchFallback, evaluate_grid
+    except ImportError:  # pragma: no cover - numpy is a declared dependency
+        return None
+
+    n = len(dataflows)
+    need_energy = objective in (Objective.ENERGY, Objective.EDP)
+    memo_key = (
+        "winner-memo", cfg, accel_fp, options, scope, objective,
+        energy_table, tuple(dataflows),
+    )
+
+    def _resolve_cost(index: int) -> Tuple[ScopeCost, str]:
+        """Winner breakdown via LRU -> disk -> scalar model.
+
+        Returns the cost and its source (``"lru"``/``"disk"``/
+        ``"model"``) so the caller can book the stats.
+        """
+        key = _evaluation_key(cfg, accel_fp, dataflows[index], options, scope)
+        cost = _CACHE.get(key) if use_cache else None
+        if cost is not None:
+            return cost, "lru"
+        if pcache is not None:
+            cost = pcache.get(key)
+            if cost is not None:
+                if use_cache:
+                    _CACHE.put(key, cost)
+                return cost, "disk"
+        cost = cost_scope(cfg, scope, accel, dataflows[index],
+                          options=options)
+        if use_cache:
+            _CACHE.put(key, cost)
+        if pcache is not None:
+            pcache.put(key, cost)
+        return cost, "model"
+
+    def _result(index: int, cost: ScopeCost, stats: SearchStats) -> DSEResult:
+        _accumulate(stats)
+        energy = energy_report(cost.counts, energy_table)
+        best = DesignPoint(dataflow=dataflows[index], cost=cost,
+                           energy=energy)
+        return DSEResult(best=best, points=(), objective=objective,
+                         stats=stats)
+
+    winner = _CACHE.get(memo_key) if use_cache else None
+    memo_from_disk = False
+    if winner is None and pcache is not None:
+        winner = pcache.get(memo_key)
+        if winner is not None:
+            memo_from_disk = True
+            if use_cache:
+                _CACHE.put(memo_key, winner)
+    if winner is not None:
+        # The whole grid was scored before; every non-winner is a
+        # cache hit against the memo (disk-served when the memo was).
+        index = int(winner)
+        cost, source = _resolve_cost(index)
+        evaluated = 1 if source == "model" else 0
+        stats = SearchStats(
+            enumerated=n,
+            evaluated=evaluated,
+            pruned=0,
+            cache_hits=n - evaluated,
+            wall_time_s=time.perf_counter() - start,
+            jobs=engine.jobs,
+            disk_hits=(
+                (n - 1 if memo_from_disk else 0)
+                + (1 if source == "disk" else 0)
+            ),
+            batch_evaluations=0,
+        )
+        return _result(index, cost, stats)
+
+    entries: List[Optional[ScopeCost]] = [None] * n
+    cache_hits = 0
+    disk_hits = 0
+    misses: List[int] = []
+    for i, dataflow in enumerate(dataflows):
+        key = _evaluation_key(cfg, accel_fp, dataflow, options, scope)
+        cost = _CACHE.get(key) if use_cache else None
+        if cost is None and pcache is not None:
+            cost = pcache.get(key)
+            if cost is not None:
+                disk_hits += 1
+                if use_cache:
+                    _CACHE.put(key, cost)
+        if cost is None:
+            misses.append(i)
+            continue
+        entries[i] = cost
+        cache_hits += 1
+
+    scores = [0.0] * n
+    for i, cost in enumerate(entries):
+        if cost is not None:
+            energy = (
+                energy_report(cost.counts, energy_table)
+                if need_energy else None
+            )
+            scores[i] = objective.score(cost, energy)
+    if misses:
+        try:
+            grid = evaluate_grid(
+                cfg, scope, accel, [dataflows[i] for i in misses],
+                options=options,
+            )
+        except BatchFallback:
+            return None
+        miss_scores = grid.objective_scores(objective, energy_table)
+        for j, i in enumerate(misses):
+            scores[i] = float(miss_scores[j])
+
+    best_index = 0
+    best_value = scores[0]
+    for i in range(1, n):
+        if scores[i] < best_value:
+            best_value = scores[i]
+            best_index = i
+
+    if use_cache:
+        _CACHE.put(memo_key, best_index)
+    if pcache is not None:
+        pcache.put(memo_key, best_index)
+
+    # Batch-scored losers are "pruned": the exact score proves they
+    # cannot win, and no scalar breakdown was ever built for them.
+    if entries[best_index] is not None:
+        cost = entries[best_index]
+        evaluated = 0
+        pruned = len(misses)
+    else:
+        cost, source = _resolve_cost(best_index)
+        pruned = len(misses) - 1
+        if source == "model":
+            evaluated = 1
+        else:
+            # Another process raced the entry onto disk after our
+            # prescan missed it; book it as the cache hit it became.
+            evaluated = 0
+            cache_hits += 1
+            if source == "disk":
+                disk_hits += 1
+    stats = SearchStats(
+        enumerated=n,
+        evaluated=evaluated,
+        pruned=pruned,
+        cache_hits=cache_hits,
+        wall_time_s=time.perf_counter() - start,
+        jobs=engine.jobs,
+        disk_hits=disk_hits,
+        batch_evaluations=len(misses),
+    )
+    return _result(best_index, cost, stats)
+
+
 def run_search(
     cfg: AttentionConfig,
     accel: Accelerator,
@@ -696,6 +919,16 @@ def run_search(
         _CACHE.resize(engine.cache_size)
     accel_fp = accelerator_fingerprint(accel)
     pcache = get_default_cache()
+
+    if engine.batch and not retain_points:
+        result = _batch_search(
+            cfg, accel, scope, objective, options, energy_table, engine,
+            dataflows, accel_fp, pcache, use_cache, start,
+        )
+        if result is not None:
+            return result
+        # BatchFallback: the grid is not exactly representable in
+        # float64 arrays — continue with the scalar machinery below.
 
     n = len(dataflows)
     entries: List[Optional[Tuple[ScopeCost, Optional[EnergyReport]]]] = (

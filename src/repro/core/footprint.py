@@ -25,7 +25,9 @@ from repro.ops.operator import GemmOperator
 
 __all__ = [
     "FootprintBreakdown",
+    "fused_la_elements",
     "fused_la_footprint",
+    "operator_l3_elements",
     "operator_l3_footprint",
     "footprint_m_gran",
     "footprint_b_gran",
@@ -60,6 +62,41 @@ class FootprintBreakdown:
         return self.total_elements * bytes_per_element
 
 
+def fused_la_elements(b_t, h_t, r, d_head, n_kv, lhs, rhs, rhs2, out,
+                      intermediate):
+    """Per-tensor staged elements of an L-A pair's L3 tile.
+
+    Shape-polymorphic core of :func:`fused_la_footprint`: every argument
+    may be a scalar or an ndarray, and the staging enables multiply in
+    as 0/1 masks.  Returns ``(lhs, rhs, rhs2, out, intermediate)``
+    element counts.
+    """
+    instances = b_t * h_t
+    return (
+        _DOUBLE_BUFFER * instances * r * d_head * lhs,
+        _DOUBLE_BUFFER * instances * n_kv * d_head * rhs,
+        _DOUBLE_BUFFER * instances * n_kv * d_head * rhs2,
+        _DOUBLE_BUFFER * instances * r * d_head * out,
+        instances * r * n_kv * intermediate,
+    )
+
+
+def operator_l3_elements(instances, m, k, n, rhs_is_weight, lhs, rhs, out):
+    """Staged ``(lhs, rhs, out)`` elements of an unfused operator's L3 tile.
+
+    Shape-polymorphic core of :func:`operator_l3_footprint` (same
+    conventions as :func:`fused_la_elements`).  ``rhs_is_weight`` is a
+    per-operator Python bool: a weight slice is shared across instances.
+    """
+    lhs_elements = _DOUBLE_BUFFER * instances * m * k * lhs
+    if rhs_is_weight:
+        rhs_elements = _DOUBLE_BUFFER * k * n * rhs
+    else:
+        rhs_elements = _DOUBLE_BUFFER * instances * k * n * rhs
+    out_elements = _DOUBLE_BUFFER * instances * m * n * out
+    return lhs_elements, rhs_elements, out_elements
+
+
 def fused_la_footprint(
     cfg: AttentionConfig, dataflow: Dataflow
 ) -> FootprintBreakdown:
@@ -81,15 +118,17 @@ def fused_la_footprint(
     if dataflow.granularity is None:
         return FootprintBreakdown(0, 0, 0, 0, 0)
     b_t, h_t, r = dataflow.cross_tile(cfg.batch, cfg.heads, cfg.seq_q)
-    dk, n_kv = cfg.d_head, cfg.seq_kv
     s = dataflow.staging
-    instances = b_t * h_t
+    lhs, rhs, rhs2, out, intermediate = fused_la_elements(
+        b_t, h_t, r, cfg.d_head, cfg.seq_kv,
+        s.lhs, s.rhs, s.rhs2, s.out, s.intermediate,
+    )
     return FootprintBreakdown(
-        lhs_elements=_DOUBLE_BUFFER * instances * r * dk if s.lhs else 0,
-        rhs_elements=_DOUBLE_BUFFER * instances * n_kv * dk if s.rhs else 0,
-        rhs2_elements=_DOUBLE_BUFFER * instances * n_kv * dk if s.rhs2 else 0,
-        out_elements=_DOUBLE_BUFFER * instances * r * dk if s.out else 0,
-        intermediate_elements=instances * r * n_kv if s.intermediate else 0,
+        lhs_elements=lhs,
+        rhs_elements=rhs,
+        rhs2_elements=rhs2,
+        out_elements=out,
+        intermediate_elements=intermediate,
     )
 
 
@@ -112,12 +151,10 @@ def operator_l3_footprint(
         # Projection/FC: instances are batch samples only.
         instances = b_t
     s = dataflow.staging
-    lhs = _DOUBLE_BUFFER * instances * r * op.k if s.lhs else 0
-    if op.rhs.role.is_weight:
-        rhs = _DOUBLE_BUFFER * op.k * op.n if s.rhs else 0
-    else:
-        rhs = _DOUBLE_BUFFER * instances * op.k * op.n if s.rhs else 0
-    out = _DOUBLE_BUFFER * instances * r * op.n if s.out else 0
+    lhs, rhs, out = operator_l3_elements(
+        instances, r, op.k, op.n, op.rhs.role.is_weight,
+        s.lhs, s.rhs, s.out,
+    )
     return FootprintBreakdown(
         lhs_elements=lhs,
         rhs_elements=rhs,

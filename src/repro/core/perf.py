@@ -41,6 +41,37 @@ from repro.energy.model import ActivityCounts
 from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
 from repro.ops.operator import GemmOperator, OperatorKind
 
+try:  # numpy backs the batch evaluator; the scalar model runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+
+def _any_array(*values) -> bool:
+    return _np is not None and any(
+        isinstance(v, _np.ndarray) for v in values
+    )
+
+
+def _where(cond, if_true, if_false):
+    """``np.where`` for arrays, a plain branch for scalars."""
+    if _any_array(cond, if_true, if_false):
+        return _np.where(cond, if_true, if_false)
+    return if_true if cond else if_false
+
+
+def _minimum(a, b):
+    if _any_array(a, b):
+        return _np.minimum(a, b)
+    return min(a, b)
+
+
+def _maximum(a, b):
+    if _any_array(a, b):
+        return _np.maximum(a, b)
+    return max(a, b)
+
+
 __all__ = [
     "PerfOptions",
     "OperatorCost",
@@ -181,11 +212,14 @@ class ScopeCost:
 # ----------------------------------------------------------------------
 # compute model
 # ----------------------------------------------------------------------
-def _strict_axis_eff(dim: int, phys: int) -> float:
-    """Spatial efficiency of mapping ``dim`` onto a ``phys``-wide axis."""
-    if dim >= phys:
-        return dim / (phys * ceil_div(dim, phys))
-    return dim / phys
+def _strict_axis_eff(dim, phys):
+    """Spatial efficiency of mapping ``dim`` onto a ``phys``-wide axis.
+
+    One formula covers both regimes (shape-polymorphic in ``dim``):
+    when ``dim < phys`` the ceil term is 1 and this reduces to the
+    partial-fill ratio ``dim / phys``.
+    """
+    return dim / (phys * ceil_div(dim, phys))
 
 
 def _spatial_dims(m: int, k: int, n: int, stationarity: Stationarity):
@@ -235,8 +269,16 @@ def _compute_cycles(
     """
     eff = _mapping_efficiency(m, k, n, stationarity, accel, options,
                               instances)
+    return _compute_cycles_from_eff(macs, eff, tile_switches, accel, options)
+
+
+def _compute_cycles_from_eff(macs, eff, tile_switches, accel, options):
+    """Compute-phase cycles given a mapping efficiency (polymorphic core)."""
     fill = accel.noc.fill_drain_cycles(accel.pe_array.rows, accel.pe_array.cols)
-    switches = min(1.0, tile_switches) if options.flexible_mapping else tile_switches
+    switches = (
+        _minimum(1.0, tile_switches) if options.flexible_mapping
+        else tile_switches
+    )
     return macs / (accel.peak_macs_per_cycle * eff) + switches * fill
 
 
@@ -248,9 +290,19 @@ def _psum_out_passes(k: int, tile: L2Tile, stationarity: Stationarity) -> int:
     stationary arrays spill partial sums per k-tile ("the space for the
     partial sum is often an unignorable overhead", section 5.3.1).
     """
-    if stationarity is Stationarity.OUTPUT:
+    return _psum_passes_from_ko(
+        ceil_div(k, tile.tk), stationarity is Stationarity.OUTPUT
+    )
+
+
+def _psum_passes_from_ko(ko, output_stationary):
+    """Partial-sum output passes from the temporal k split (polymorphic)."""
+    if _any_array(ko, output_stationary):
+        return _np.where(
+            output_stationary, 1, _np.where(ko == 1, 1, 2 * ko - 1)
+        )
+    if output_stationary:
         return 1
-    ko = ceil_div(k, tile.tk)
     return 1 if ko == 1 else 2 * ko - 1
 
 
@@ -275,9 +327,31 @@ def partition_scratchpad(
     Public because the DSE engine's admissible lower bounds
     (:mod:`repro.core.engine`) reuse the exact partition arithmetic to
     price intermediate spills without running the full model.
+
+    Shape-polymorphic: ``footprint_bytes`` / ``staging_active`` may be
+    ndarrays, giving a :class:`StagingBudget` of per-candidate arrays.
     """
     sg = accel.sg_bytes
     e = accel.bytes_per_element
+    if _any_array(footprint_bytes, staging_active):
+        reserve = max(
+            options.min_l2_reserve_bytes, int(sg * options.l2_reserve_fraction)
+        )
+        reserve = min(reserve, sg // 2)
+        active = staging_active & (footprint_bytes > 0)
+        return StagingBudget(
+            l2_budget_elements=_np.where(
+                active, max(1, reserve // e), max(1, sg // e)
+            ),
+            staging_budget_bytes=_np.where(active, sg - reserve, 0),
+            fit_fraction=_np.where(
+                active,
+                _np.minimum(
+                    1.0, (sg - reserve) / _np.maximum(footprint_bytes, 1)
+                ),
+                1.0,
+            ),
+        )
     if staging_active and footprint_bytes > 0:
         reserve = max(
             options.min_l2_reserve_bytes, int(sg * options.l2_reserve_fraction)
@@ -313,7 +387,17 @@ def _blend_passes(
     memory access" — two passes total; under the stricter reuse model
     it is re-streamed once per reuse scope, like an unstaged tensor,
     plus the extra pass.
+
+    Shape-polymorphic: ``staged`` / ``fit`` / ``l2_passes`` may be
+    ndarrays.
     """
+    if _any_array(staged, fit, l2_passes):
+        spilled = (1.0 - fit)
+        if extra_pass_only:
+            staged_passes = fit * 1.0 + spilled * 2.0
+        else:
+            staged_passes = fit * 1.0 + spilled * (l2_passes + 1.0)
+        return _np.where(staged, staged_passes, l2_passes)
     if not staged:
         return l2_passes
     spilled = (1.0 - fit)
@@ -333,7 +417,21 @@ def _allocate_staging(
     saved per byte first) and each claims as much of the remaining
     budget as it needs.  Returns the per-tensor fit fraction in the
     same order.
+
+    Shape-polymorphic: with ndarray sizes/budget the allocation runs
+    per-candidate.  A zero-size lane keeps ``fit = 1.0`` and leaves the
+    remaining budget untouched, exactly like the scalar branch.
     """
+    if _any_array(budget_bytes, *sizes_bytes):
+        remaining = _np.asarray(budget_bytes, dtype=float)
+        fits = []
+        for size in sizes_bytes:
+            granted = _np.minimum(remaining, size)
+            fits.append(
+                _np.where(size <= 0, 1.0, granted / _np.maximum(size, 1.0))
+            )
+            remaining = remaining - granted
+        return fits
     remaining = float(budget_bytes)
     fits: List[float] = []
     for size in sizes_bytes:
@@ -367,10 +465,18 @@ class _Phase:
     sg_words: float = 0.0
 
     def time(self, accel: Accelerator) -> float:
-        e = accel.bytes_per_element
-        dram = self.dram_elements * e / accel.offchip_bytes_per_cycle
-        sg = self.sg_words * e / accel.onchip_bytes_per_cycle
-        return max(self.compute_cycles + self.softmax_cycles, dram, sg)
+        return _phase_time(
+            self.compute_cycles + self.softmax_cycles,
+            self.dram_elements, self.sg_words, accel,
+        )
+
+
+def _phase_time(busy_cycles, dram_elements, sg_words, accel):
+    """Overlapped phase latency: max of the three streams (polymorphic)."""
+    e = accel.bytes_per_element
+    dram = dram_elements * e / accel.offchip_bytes_per_cycle
+    sg = sg_words * e / accel.onchip_bytes_per_cycle
+    return _maximum(_maximum(busy_cycles, dram), sg)
 
 
 def sg_stream_words(macs: float, accel: Accelerator) -> float:
@@ -386,6 +492,22 @@ def sg_stream_words(macs: float, accel: Accelerator) -> float:
 
 # Backward-compatible alias (pre-engine private spelling).
 _sg_stream_words = sg_stream_words
+
+
+def _warmup_cycles(dram_bytes, n_pass, warmup_cap_bytes, fused, accel,
+                   options):
+    """Exposed prefetch warm-up (polymorphic core of :func:`_assemble`).
+
+    Only the pipeline fill is exposed — the first L2 working set of the
+    first pass must land on-chip before compute starts; after that,
+    double buffering hides the fetch stream.  Fused operators prefetch
+    across two stages and get the overlap credit.
+    """
+    warmup_bytes = _minimum(
+        dram_bytes / _maximum(n_pass, 1.0), warmup_cap_bytes
+    )
+    warmup = warmup_bytes / accel.offchip_bytes_per_cycle
+    return _where(fused, warmup * options.fused_warmup_credit, warmup)
 
 
 def _assemble(
@@ -413,13 +535,8 @@ def _assemble(
     sg_cycles = sg_bytes / accel.onchip_bytes_per_cycle
 
     steady = sum(p.time(accel) for p in phases)
-    # Warm-up: only the pipeline fill is exposed — the first L2 working
-    # set of the first pass must land on-chip before compute starts;
-    # after that, double buffering hides the fetch stream.
-    warmup_bytes = min(dram_bytes / max(n_pass, 1.0), warmup_cap_bytes)
-    warmup = warmup_bytes / accel.offchip_bytes_per_cycle
-    if fused:
-        warmup *= options.fused_warmup_credit
+    warmup = _warmup_cycles(dram_bytes, n_pass, warmup_cap_bytes, fused,
+                            accel, options)
     total = steady + warmup
     ideal = macs / accel.peak_macs_per_cycle
 

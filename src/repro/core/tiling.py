@@ -20,12 +20,19 @@ from typing import Tuple
 __all__ = ["ceil_div", "L2Tile", "choose_l2_tile", "reuse_passes"]
 
 
-def ceil_div(a: int, b: int) -> int:
-    """Ceiling division for positive integers."""
-    if b <= 0:
-        raise ValueError("divisor must be positive")
-    if a < 0:
-        raise ValueError("dividend must be non-negative")
+def ceil_div(a, b):
+    """Ceiling division for positive integers.
+
+    Shape-polymorphic: either argument may also be an integer ndarray,
+    in which case the division vectorizes element-wise.  Validation only
+    runs on plain-int inputs — the batch evaluator constructs its arrays
+    from already-validated dataflows.
+    """
+    if isinstance(a, int) and isinstance(b, int):
+        if b <= 0:
+            raise ValueError("divisor must be positive")
+        if a < 0:
+            raise ValueError("dividend must be non-negative")
     return -(-a // b)
 
 

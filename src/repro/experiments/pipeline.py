@@ -35,7 +35,11 @@ from repro.core.cache import (
     get_default_cache,
     resolve_cache_dir,
 )
-from repro.core.engine import reset_search_totals, search_totals
+from repro.core.engine import (
+    default_batch,
+    reset_search_totals,
+    search_totals,
+)
 from repro.experiments.runner import (
     experiment_names,
     run_experiment,
@@ -105,13 +109,15 @@ class PipelineResult:
 
 
 def _execute(name: str, jobs: Optional[int],
-             cache_dir: Optional[str]) -> ExperimentRun:
+             cache_dir: Optional[str],
+             batch: Optional[bool] = None) -> ExperimentRun:
     """Run one experiment; importable at top level so pools can pickle it.
 
-    ``cache_dir`` is threaded explicitly (not inherited) so the pipeline
-    behaves identically under fork and spawn start methods.
+    ``cache_dir`` and ``batch`` are threaded explicitly (not inherited)
+    so the pipeline behaves identically under fork and spawn start
+    methods.
     """
-    with default_cache_dir(cache_dir):
+    with default_cache_dir(cache_dir), default_batch(batch):
         reset_search_totals()
         pcache = get_default_cache()
         cache_before = pcache.stats.copy() if pcache is not None else None
@@ -143,6 +149,7 @@ def run_pipeline(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    batch: Optional[bool] = None,
 ) -> PipelineResult:
     """Run ``names`` (default: the whole registry) as parallel jobs.
 
@@ -152,6 +159,9 @@ def run_pipeline(
     inside each experiment and defaults to serial — experiments are the
     parallel unit.  ``cache_dir`` selects the shared persistent cache
     (``None`` defers to the ambient default / ``REPRO_CACHE_DIR``).
+    ``batch`` toggles the vectorized scoring backend inside every
+    worker (``--no-batch`` passes ``False``; ``None`` keeps the
+    default); reports are byte-identical either way.
 
     A failing experiment is reported with ``status="error"`` and does
     not abort the others.  ``progress`` is invoked in the parent, in
@@ -179,7 +189,7 @@ def run_pipeline(
     done = 0
     if workers == 1:
         for name in selected:
-            run = _execute(name, jobs, cache_dir)
+            run = _execute(name, jobs, cache_dir, batch)
             outcomes[name] = run
             done += 1
             if progress is not None:
@@ -187,7 +197,7 @@ def run_pipeline(
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
-                pool.submit(_execute, name, jobs, cache_dir): name
+                pool.submit(_execute, name, jobs, cache_dir, batch): name
                 for name in selected
             }
             while pending:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.core.engine import default_jobs
+from repro.core.engine import default_batch, default_jobs
 from repro.experiments import (
     ext_batch,
     ext_decode,
@@ -154,12 +154,14 @@ def experiment_names() -> List[str]:
     return sorted(_SPECS)
 
 
-def run_experiment(name: str, jobs: Optional[int] = None) -> str:
+def run_experiment(name: str, jobs: Optional[int] = None,
+                   batch: Optional[bool] = None) -> str:
     """Run one registered experiment and return its report.
 
     ``jobs`` sets the DSE engine's worker-process count for the
-    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
-    current default.
+    duration of the run (the CLI's ``--jobs`` flag); ``batch`` toggles
+    the vectorized batch backend (``--no-batch`` passes ``False``).
+    ``None`` keeps the respective current default.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -167,16 +169,18 @@ def run_experiment(name: str, jobs: Optional[int] = None) -> str:
         raise ValueError(
             f"unknown experiment {name!r}; choose from {experiment_names()}"
         ) from None
-    with default_jobs(jobs):
+    with default_jobs(jobs), default_batch(batch):
         return runner()
 
 
-def run_experiment_raw(name: str, jobs: Optional[int] = None) -> object:
+def run_experiment_raw(name: str, jobs: Optional[int] = None,
+                       batch: Optional[bool] = None) -> object:
     """Run one experiment and return its typed rows (for JSON export).
 
     ``jobs`` sets the DSE engine's worker-process count for the
-    duration of the run (the CLI's ``--jobs`` flag); ``None`` keeps the
-    current default.
+    duration of the run (the CLI's ``--jobs`` flag); ``batch`` toggles
+    the vectorized batch backend (``--no-batch`` passes ``False``).
+    ``None`` keeps the respective current default.
     """
     try:
         runner = RAW_EXPERIMENTS[name]
@@ -185,5 +189,5 @@ def run_experiment_raw(name: str, jobs: Optional[int] = None) -> object:
             f"no raw rows for {name!r}; choose from "
             f"{sorted(RAW_EXPERIMENTS)}"
         ) from None
-    with default_jobs(jobs):
+    with default_jobs(jobs), default_batch(batch):
         return runner()

@@ -224,3 +224,13 @@ class TestRowChoices:
             rows = _default_row_choices(seq)
             assert rows[0] == 1
             assert rows[-1] == min(seq, 16384)
+
+    def test_ladder_has_no_duplicates(self):
+        from repro.core.dse import _default_row_choices
+
+        # Sequence lengths on the geometric ladder (powers of four, and
+        # anything past the 16384 cap) used to get their final entry
+        # appended twice, inflating the R-granularity grid.
+        for seq in (1, 4, 64, 1024, 16384, 65536, 10 ** 6, 7, 100):
+            rows = _default_row_choices(seq)
+            assert len(rows) == len(set(rows)), seq

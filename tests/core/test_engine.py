@@ -26,8 +26,12 @@ from repro.core.engine import (
 from repro.core.perf import cost_scope
 from repro.ops.attention import Scope
 
-NAIVE = EngineOptions(jobs=1, prune=False, cache_size=0)
-FAST = EngineOptions(jobs=1, prune=True, cache_size=8192)
+# These exercise the scalar engine machinery (pruning, pooling, the
+# per-candidate caches); the batch backend has its own suite in
+# test_batch.py and is disabled here so the accounting assertions see
+# the scalar path.
+NAIVE = EngineOptions(jobs=1, prune=False, cache_size=0, batch=False)
+FAST = EngineOptions(jobs=1, prune=True, cache_size=8192, batch=False)
 
 
 @pytest.fixture(autouse=True)
@@ -77,7 +81,7 @@ class TestEquivalence:
     def test_parallel_jobs_match_serial(self, small_cfg, edge_accel):
         naive = search(small_cfg, edge_accel, scope=Scope.LA, engine=NAIVE)
         par = search(small_cfg, edge_accel, scope=Scope.LA,
-                     engine=EngineOptions(jobs=2, cache_size=0),
+                     engine=EngineOptions(jobs=2, cache_size=0, batch=False),
                      retain_points=False)
         _assert_same_best(naive, par)
         assert par.stats.jobs == 2
@@ -86,7 +90,7 @@ class TestEquivalence:
                                                    edge_accel):
         naive = search(small_cfg, edge_accel, scope=Scope.LA, engine=NAIVE)
         par = search(small_cfg, edge_accel, scope=Scope.LA,
-                     engine=EngineOptions(jobs=2, cache_size=0))
+                     engine=EngineOptions(jobs=2, cache_size=0, batch=False))
         assert [p.dataflow for p in par.points] == [
             p.dataflow for p in naive.points
         ]
