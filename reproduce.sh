@@ -13,6 +13,9 @@ pip install -e . --quiet \
   || pip install -e . --no-build-isolation --quiet \
   || python setup.py develop  # offline fallback (no wheel package)
 
+echo "== static invariant checks (repro.lint, rules R1-R4) =="
+python -m repro.lint src/repro 2>&1 | tee "$OUT/lint_output.txt"
+
 echo "== unit / integration / property tests =="
 python -m pytest tests/ 2>&1 | tee "$OUT/test_output.txt"
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four modes:
+Five modes:
 
 * ``python -m repro.cli <experiment>`` — regenerate one paper artifact
   (``list`` enumerates, ``all`` runs everything, ``--json`` emits rows).
@@ -13,6 +13,10 @@ Four modes:
   (``--workload-json`` / ``--accel-json``).
 * ``python -m repro.cli svg [--outdir DIR]`` — render the scatter/line
   figures as standalone SVG files.
+* ``python -m repro.cli lint [paths...]`` — run the AST invariant
+  checker (:mod:`repro.lint`) over the cost-model sources; remaining
+  arguments are forwarded verbatim (``--format json``, ``--rules``,
+  ...).  Equivalent to ``python -m repro.lint``.
 
 Every mode honors ``--cache-dir`` (or ``REPRO_CACHE_DIR``): a
 persistent cross-run cache of DSE evaluations that makes warm re-runs
@@ -51,8 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name, 'list', 'all', 'run-all' (parallel "
-            "pipeline), 'cost' (ad-hoc workload costing) or 'svg' "
-            "(render figures)"
+            "pipeline), 'cost' (ad-hoc workload costing), 'svg' "
+            "(render figures) or 'lint' (static invariant checker)"
         ),
     )
     parser.add_argument(
@@ -242,7 +246,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.core.cache import default_cache_dir
     from repro.core.engine import default_batch, default_jobs
 
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # The lint verb owns its own argparse surface; forward the
+        # remaining arguments untouched.
+        from repro.lint import main as lint_main
+
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     batch = False if args.no_batch else None
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)

@@ -70,15 +70,19 @@ CACHE_SCHEMA_VERSION = 1
 _ENTRY_HEADER = "repro-dse-cache/1"
 _ENV_VAR = "REPRO_CACHE_DIR"
 
-# Everything a cached ScopeCost can depend on.  Energy is deliberately
-# absent: entries store only the deterministic ScopeCost and callers
-# derive energy from its activity counts with their own table.
+# Everything a cached ScopeCost can depend on.  ``repro.energy.model``
+# is included because the pickled payload embeds ActivityCounts
+# instances defined there; the energy *tables* stay absent on purpose —
+# entries store only the deterministic ScopeCost and callers derive
+# joules from its activity counts with their own table.  The lint rule
+# R3 (repro.lint) checks this tuple against the required contract set.
 _FINGERPRINT_MODULES: Tuple[str, ...] = (
     "repro.core.perf",
     "repro.core.footprint",
     "repro.core.tiling",
     "repro.core.batch",
     "repro.core.dataflow",
+    "repro.energy.model",
     "repro.ops.attention",
     "repro.ops.operator",
     "repro.ops.tensor",

@@ -1,0 +1,140 @@
+"""``repro.lint`` — AST invariant checker for the cost model's contracts.
+
+Static analysis over ``src/repro`` enforcing the load-bearing
+invariants the test suite can only sample:
+
+* **R1** ceil quantization of the formula cores,
+* **R2** shape polymorphism of the scalar<->batch shared cores,
+* **R3** determinism of the cache-fingerprinted module set (plus
+  fingerprint coverage),
+* **R4** immutability/hashability of the cache-key dataclasses.
+
+Run it as ``python -m repro.lint [paths...]`` or ``repro-flat lint``;
+see ``docs/lint.md`` for the rules, the contract tables and the
+``# repro-lint: ignore[R?]`` suppression syntax.
+"""
+
+from repro.lint.contracts import Contracts
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintError,
+    LintResult,
+    ModuleUnit,
+)
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import default_rules
+
+__all__ = [
+    "Contracts",
+    "Finding",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "ModuleUnit",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "lint",
+    "main",
+]
+
+
+def lint(paths, contracts=None, rules=None) -> LintResult:
+    """Lint files/directories; the library-level entry point."""
+    from pathlib import Path
+
+    paths = [Path(p) for p in paths]
+    if contracts is None:
+        contracts = _discover_contracts(paths)
+    engine = LintEngine(contracts, rules=rules)
+    return engine.lint_paths(paths)
+
+
+def _discover_contracts(paths) -> Contracts:
+    """Locate the ``repro`` package root among ``paths`` and derive
+    the dynamic contract halves from it; fall back to the static
+    tables when linting files outside the package."""
+    from pathlib import Path
+
+    for path in paths:
+        candidate = Path(path).resolve()
+        if candidate.is_file():
+            candidate = candidate.parent
+        while candidate != candidate.parent:
+            if (
+                candidate.name == "repro"
+                and (candidate / "__init__.py").exists()
+            ):
+                return Contracts.discover(candidate.parent)
+            candidate = candidate.parent
+    return Contracts()
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``python -m repro.lint``); returns exit status.
+
+    Exit 0: zero unsuppressed findings.  Exit 1: findings.  Exit 2:
+    usage error (unknown path, unknown rule id).
+    """
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST invariant checker for the FLAT cost model's "
+            "correctness contracts (rules R1-R4; see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R1,R2,...",
+        help="comma-separated subset of rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the available rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    all_rules = default_rules()
+    if args.list_rules:
+        for rule in all_rules:
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+    rules = list(all_rules)
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = {rule.id for rule in all_rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {sorted(unknown)}; "
+                f"available: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in all_rules if rule.id in wanted]
+
+    try:
+        result = lint(args.paths, rules=rules)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1

@@ -1,0 +1,252 @@
+"""Declarative contract tables for the invariant linter.
+
+The cost model's correctness rests on contracts that live in prose —
+docstrings in :mod:`repro.core.perf` declaring functions "shape-
+polymorphic", the batch backend's bit-for-bit equality argument, the
+cache's source-fingerprint invalidation.  This module turns those
+contracts into data the lint rules can enforce:
+
+* ``CEIL_QUANTIZED`` — formula cores whose quantization is declared
+  *ceil* (R1): truncating constructs (``int()``, bare ``//``,
+  ``math.floor``) silently change modeled cycle counts.
+* ``POLYMORPHIC_CORES`` / ``SCALAR_LUT_HELPERS`` /
+  ``NON_FORMULA_IMPORTS`` — the shape-polymorphism contract (R2)
+  between :mod:`repro.core.batch` and the formula modules it imports
+  from.  Every batch import must be in one of the three sets;
+  polymorphic cores are additionally checked for shape-breaking
+  constructs.
+* ``SCALAR_FLAG_PARAMS`` — parameter names the polymorphism check may
+  assume are plain Python scalars (per-operator flags and config
+  objects), as documented in the core docstrings.
+* ``REQUIRED_FINGERPRINT_MODULES`` — the module set whose sources the
+  disk cache *must* fingerprint (R3); the same set is held to the
+  determinism rules, since a nondeterministic fingerprinted module
+  makes identical keys map to differing cached payloads.
+* ``CACHE_KEY_CLASSES`` — frozen dataclasses embedded in the engine's
+  evaluation key (R4): they must stay frozen, equality-comparable and
+  free of unhashable fields, or LRU/disk keys silently stop matching.
+
+The derived halves of the contract — which names ``batch.py`` actually
+imports, which modules ``cache.py`` actually fingerprints — are read
+from the linted tree itself by :meth:`Contracts.discover`, so the
+linter tracks drift instead of a stale copy of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = [
+    "CEIL_QUANTIZED",
+    "POLYMORPHIC_CORES",
+    "SCALAR_LUT_HELPERS",
+    "NON_FORMULA_IMPORTS",
+    "SCALAR_FLAG_PARAMS",
+    "REQUIRED_FINGERPRINT_MODULES",
+    "CACHE_KEY_CLASSES",
+    "Contracts",
+]
+
+
+def _table(mapping: Dict[str, set]) -> Mapping[str, FrozenSet[str]]:
+    return {module: frozenset(names) for module, names in mapping.items()}
+
+
+#: R1 — functions whose docstrings declare ceil quantization.  A bare
+#: ``//``, ``int()`` or ``math.floor`` here is a truncation bug unless
+#: it spells the ``-(-a // b)`` ceiling idiom.
+CEIL_QUANTIZED: Mapping[str, FrozenSet[str]] = _table({
+    "repro.core.perf": {
+        "_strict_axis_eff",
+        "_mapping_efficiency",
+        "_compute_cycles",
+        "_compute_cycles_from_eff",
+        "_psum_out_passes",
+        "_psum_passes_from_ko",
+    },
+    "repro.core.tiling": {"ceil_div", "reuse_passes"},
+    "repro.core.footprint": {
+        "fused_la_elements",
+        "operator_l3_elements",
+    },
+})
+
+#: R2 — formula cores the batch backend shares with the scalar model.
+#: These must stay shape-polymorphic: no branching on formula values,
+#: no shape-breaking builtins on them.
+POLYMORPHIC_CORES: Mapping[str, FrozenSet[str]] = _table({
+    "repro.core.perf": {
+        "_allocate_staging",
+        "_blend_passes",
+        "_compute_cycles_from_eff",
+        "_phase_time",
+        "_psum_passes_from_ko",
+        "_strict_axis_eff",
+        "_warmup_cycles",
+        "partition_scratchpad",
+        "sg_stream_words",
+    },
+    "repro.core.tiling": {"ceil_div"},
+    "repro.core.footprint": {
+        "fused_la_elements",
+        "operator_l3_elements",
+    },
+})
+
+#: R2 — helpers the batch backend may import even though they are
+#: scalar-only: it calls them once per *unique* key through its LUT
+#: gather (``_tile_luts``), never on arrays.
+SCALAR_LUT_HELPERS: Mapping[str, FrozenSet[str]] = _table({
+    "repro.core.tiling": {"choose_l2_tile", "reuse_passes"},
+})
+
+#: R2 — non-formula names (config classes, constants) batch.py may
+#: import from the formula modules without a polymorphism obligation.
+NON_FORMULA_IMPORTS: FrozenSet[str] = frozenset({"PerfOptions"})
+
+#: R2 — parameters the cores' docstrings pin as plain Python scalars:
+#: per-operator flags and the config/hardware objects.  Everything
+#: else entering a polymorphic core may be an ndarray.
+SCALAR_FLAG_PARAMS: FrozenSet[str] = frozenset({
+    "self",
+    "accel",
+    "options",
+    "extra_pass_only",
+    "rhs_is_weight",
+    "double_buffered",
+})
+
+#: R3 — modules whose source must be covered by
+#: ``repro.core.cache._FINGERPRINT_MODULES``: everything a cached
+#: (pickled) ScopeCost payload can depend on, including
+#: ``repro.energy.model`` because the payload embeds ActivityCounts
+#: instances defined there.  The energy *tables* stay out on purpose:
+#: callers re-derive joules from the cached counts.
+REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
+    "repro.core.perf",
+    "repro.core.footprint",
+    "repro.core.tiling",
+    "repro.core.batch",
+    "repro.core.dataflow",
+    "repro.energy.model",
+    "repro.ops.attention",
+    "repro.ops.operator",
+    "repro.ops.tensor",
+    "repro.arch.accelerator",
+    "repro.arch.pe_array",
+    "repro.arch.memory",
+    "repro.arch.noc",
+    "repro.arch.sfu",
+    "repro.arch.cluster",
+})
+
+#: R4 — frozen dataclasses embedded in the engine's evaluation key
+#: (``(cfg, accelerator_fingerprint, dataflow, options, scope)``).
+CACHE_KEY_CLASSES: Mapping[str, FrozenSet[str]] = _table({
+    "repro.ops.attention": {"AttentionConfig"},
+    "repro.core.dataflow": {"Dataflow", "StagingPolicy"},
+    "repro.core.perf": {"PerfOptions"},
+    "repro.arch.pe_array": {"PEArray"},
+    "repro.arch.memory": {"ScratchpadSpec", "OffChipSpec"},
+    "repro.arch.noc": {"NoCSpec"},
+    "repro.arch.sfu": {"SFUSpec"},
+})
+
+_BATCH_MODULE = "repro.core.batch"
+_CACHE_MODULE = "repro.core.cache"
+_FORMULA_MODULES = frozenset(POLYMORPHIC_CORES)
+
+
+@dataclass(frozen=True)
+class Contracts:
+    """One resolved contract set the rules run against.
+
+    The static tables above are the defaults; the *derived* fields
+    (``batch_formula_imports``, ``fingerprinted_modules``) are filled
+    in by :meth:`discover` from the tree being linted, or supplied
+    explicitly by tests building synthetic fixtures.
+    """
+
+    ceil_quantized: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: CEIL_QUANTIZED
+    )
+    polymorphic: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: POLYMORPHIC_CORES
+    )
+    scalar_lut: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: SCALAR_LUT_HELPERS
+    )
+    non_formula_imports: FrozenSet[str] = NON_FORMULA_IMPORTS
+    scalar_flag_params: FrozenSet[str] = SCALAR_FLAG_PARAMS
+    required_fingerprint_modules: FrozenSet[str] = (
+        REQUIRED_FINGERPRINT_MODULES
+    )
+    cache_key_classes: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: CACHE_KEY_CLASSES
+    )
+    batch_module: str = _BATCH_MODULE
+    cache_module: str = _CACHE_MODULE
+    formula_modules: FrozenSet[str] = _FORMULA_MODULES
+    #: Modules the determinism rule (R3) constrains.  Defaults to the
+    #: required fingerprint set; :meth:`discover` widens it with
+    #: whatever ``cache.py`` actually lists, so an *extra* fingerprinted
+    #: module is also held to determinism.
+    fingerprinted_modules: Optional[FrozenSet[str]] = None
+
+    def determinism_modules(self) -> FrozenSet[str]:
+        extra = self.fingerprinted_modules or frozenset()
+        return self.required_fingerprint_modules | extra
+
+    @classmethod
+    def discover(cls, src_root: Path) -> "Contracts":
+        """Resolve the derived contract halves from a source tree.
+
+        ``src_root`` is the directory *containing* the ``repro``
+        package.  Missing files degrade gracefully (the corresponding
+        checks simply see the static defaults) so the linter can run
+        over partial trees and fixtures.
+        """
+        fingerprinted = parse_fingerprint_modules(
+            src_root / Path(*_CACHE_MODULE.split(".")).with_suffix(".py")
+        )
+        return cls(
+            fingerprinted_modules=(
+                frozenset(fingerprinted) if fingerprinted is not None
+                else None
+            ),
+        )
+
+
+def parse_fingerprint_modules(cache_path: Path) -> Optional[Tuple[str, ...]]:
+    """Statically read ``_FINGERPRINT_MODULES`` from ``cache.py``.
+
+    Returns the tuple in source order, or ``None`` when the file or
+    the assignment is absent (fixture trees).
+    """
+    try:
+        tree = ast.parse(cache_path.read_text())
+    except (OSError, SyntaxError):
+        return None
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "_FINGERPRINT_MODULES"
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                names = []
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        names.append(elt.value)
+                return tuple(names)
+    return None

@@ -1,0 +1,230 @@
+"""Walker and finding framework for the invariant linter.
+
+A :class:`LintEngine` parses each target file once into a
+:class:`ModuleUnit` (path, dotted module name, AST, source lines,
+suppression markers) and hands it to every registered rule.  Rules are
+small objects with an ``id``, a ``severity`` and a
+``check(unit, contracts)`` generator — see :mod:`repro.lint.rules`.
+
+Suppressions are per-line::
+
+    n_pass = total // chunk  # repro-lint: ignore[R1] -- floor is the intent here
+
+``ignore[R1,R3]`` suppresses the listed rules on that physical line;
+a bare ``ignore`` suppresses every rule.  Suppressed findings are kept
+(reporters show them on request) but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Finding",
+    "ModuleUnit",
+    "LintError",
+    "LintResult",
+    "LintEngine",
+    "module_name_for",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?"
+)
+
+
+class LintError(RuntimeError):
+    """A target could not be read or parsed at all."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}{tag}"
+        )
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file plus everything the rules need."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: line -> suppressed rule ids; ``None`` means "all rules".
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_source(
+        cls, module: str, source: str, path: str = "<fixture>"
+    ) -> "ModuleUnit":
+        """Build a unit from an in-memory snippet (test fixtures)."""
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=ast.parse(source),
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_path(
+        cls, path: Path, module: Optional[str] = None
+    ) -> "ModuleUnit":
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {path}: {exc}") from exc
+        return cls(
+            path=str(path),
+            module=module if module is not None else module_name_for(path),
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line, False)
+        if rules is False:
+            return False
+        return rules is None or rule in rules
+
+
+def parse_suppressions(
+    source: str,
+) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppression markers of one source file."""
+    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None or not listed.strip():
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                part.strip() for part in listed.split(",") if part.strip()
+            )
+    return table
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, by walking up the package tree.
+
+    ``src/repro/core/perf.py`` -> ``repro.core.perf``; a file outside
+    any package is just its stem.
+    """
+    path = Path(path)
+    parts: List[str] = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class LintResult:
+    """All findings of one engine run, suppressions applied."""
+
+    findings: List[Finding]
+    files_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [
+            f for f in self.unsuppressed if f.severity == SEVERITY_ERROR
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+
+class LintEngine:
+    """Runs a rule set over module units and applies suppressions."""
+
+    def __init__(self, contracts, rules: Optional[Sequence] = None) -> None:
+        if rules is None:
+            from repro.lint.rules import default_rules
+
+            rules = default_rules()
+        ids = [rule.id for rule in rules]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate rule ids: {ids}")
+        self.contracts = contracts
+        self.rules = list(rules)
+
+    def lint_units(self, units: Iterable[ModuleUnit]) -> LintResult:
+        findings: List[Finding] = []
+        count = 0
+        for unit in units:
+            count += 1
+            for rule in self.rules:
+                for finding in rule.check(unit, self.contracts):
+                    if unit.is_suppressed(finding.rule, finding.line):
+                        finding = replace(finding, suppressed=True)
+                    findings.append(finding)
+        findings.sort(key=Finding.sort_key)
+        return LintResult(findings=findings, files_checked=count)
+
+    def lint_paths(self, paths: Iterable[Path]) -> LintResult:
+        return self.lint_units(
+            ModuleUnit.from_path(p) for p in expand_paths(paths)
+        )
+
+
+def expand_paths(paths: Iterable[Path]) -> List[Path]:
+    """Expand directories to their ``*.py`` files, sorted for stable
+    output; explicit file paths pass through unchanged."""
+    expanded: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            expanded.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            expanded.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return expanded

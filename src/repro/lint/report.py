@@ -1,0 +1,93 @@
+"""Text and JSON reporters for lint results.
+
+The JSON schema is stable (``"version": 1``) so CI and editor
+integrations can parse it::
+
+    {
+      "version": 1,
+      "tool": "repro.lint",
+      "findings": [
+        {"rule": "R1", "severity": "error", "path": "...",
+         "line": 12, "col": 4, "message": "...", "suppressed": false},
+        ...
+      ],
+      "summary": {"total": 3, "unsuppressed": 1, "suppressed": 2,
+                  "errors": 1, "warnings": 0, "files_checked": 40,
+                  "ok": false}
+    }
+
+``findings`` includes suppressed entries (marked as such) so the
+suppression inventory itself stays reviewable; ``ok`` mirrors the
+process exit status (true iff there are zero unsuppressed findings).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.lint.engine import SEVERITY_ERROR, LintResult
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json", "summary"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def summary(result: LintResult) -> Dict[str, object]:
+    unsuppressed = result.unsuppressed
+    return {
+        "total": len(result.findings),
+        "unsuppressed": len(unsuppressed),
+        "suppressed": len(result.suppressed),
+        "errors": sum(
+            1 for f in unsuppressed if f.severity == SEVERITY_ERROR
+        ),
+        "warnings": sum(
+            1 for f in unsuppressed if f.severity != SEVERITY_ERROR
+        ),
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+    }
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.render())
+    stats = summary(result)
+    if stats["unsuppressed"]:
+        lines.append(
+            f"{stats['unsuppressed']} finding(s) "
+            f"({stats['errors']} error(s), {stats['warnings']} "
+            f"warning(s), {stats['suppressed']} suppressed) in "
+            f"{stats['files_checked']} file(s)"
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings ({stats['suppressed']} suppressed) in "
+            f"{stats['files_checked']} file(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+            }
+            for f in result.findings
+        ],
+        "summary": summary(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,171 @@
+"""CLI, reporter, and real-tree tests for ``repro.lint``.
+
+Covers the JSON reporter schema, the argparse front end's exit codes,
+and — most importantly — a no-false-positive pass over known-clean
+production modules with the *discovered* contracts, so rule tightening
+that would start flagging the real tree fails here first.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Contracts,
+    LintEngine,
+    ModuleUnit,
+    default_rules,
+    lint,
+    main,
+    render_json,
+)
+from repro.lint.report import JSON_SCHEMA_VERSION, summary
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+class TestJsonReporter:
+    def lint_fixture(self):
+        unit = ModuleUnit.from_source(
+            "repro.core.tiling",
+            textwrap.dedent(
+                """\
+                def ceil_div(a, b):
+                    return a // b
+
+                def reuse_passes(m, k, n):
+                    return int(m)  # repro-lint: ignore[R1] -- fixture
+                """
+            ),
+        )
+        contracts = Contracts(
+            ceil_quantized={
+                "repro.core.tiling": frozenset({"ceil_div",
+                                                "reuse_passes"}),
+            },
+        )
+        return LintEngine(contracts).lint_units([unit])
+
+    def test_schema(self):
+        payload = json.loads(render_json(self.lint_fixture()))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["tool"] == "repro.lint"
+        assert set(payload) == {"version", "tool", "summary", "findings"}
+        assert set(payload["summary"]) == {
+            "total", "unsuppressed", "suppressed", "errors",
+            "warnings", "files_checked", "ok",
+        }
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col",
+                "message", "suppressed",
+            }
+            assert isinstance(finding["line"], int)
+            assert finding["severity"] in ("error", "warning")
+
+    def test_summary_counts(self):
+        result = self.lint_fixture()
+        info = summary(result)
+        assert info["total"] == 2
+        assert info["unsuppressed"] == 1
+        assert info["suppressed"] == 1
+        assert info["ok"] is False
+
+    def test_json_includes_suppressed_marked(self):
+        payload = json.loads(render_json(self.lint_fixture()))
+        flags = sorted(f["suppressed"] for f in payload["findings"])
+        assert flags == [False, True]
+
+
+class TestNoFalsePositives:
+    """The rules must pass the real modules they were written against."""
+
+    @pytest.mark.parametrize("relpath", [
+        "core/perf.py",
+        "core/footprint.py",
+    ])
+    def test_known_clean_module(self, relpath):
+        result = lint([SRC_REPRO / relpath],
+                      contracts=Contracts.discover(SRC_REPRO.parent))
+        assert result.unsuppressed == [], [
+            f.render() for f in result.unsuppressed
+        ]
+
+    def test_whole_tree_is_clean(self):
+        # Satellite self-check: the shipped tree carries zero
+        # unsuppressed findings, same as the CI gate.
+        result = lint([SRC_REPRO])
+        assert result.files_checked > 50
+        assert result.unsuppressed == [], [
+            f.render() for f in result.unsuppressed
+        ]
+
+
+class TestCliFrontend:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        status = main([str(SRC_REPRO)])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "clean" in out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core"
+        bad.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (bad / "__init__.py").write_text("")
+        (bad / "tiling.py").write_text(
+            "def ceil_div(a, b):\n    return a // b\n"
+        )
+        status = main([str(bad / "tiling.py")])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "R1" in out
+
+    def test_json_format(self, capsys):
+        status = main([str(SRC_REPRO / "core" / "tiling.py"),
+                       "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["summary"]["ok"] is True
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        status = main([str(SRC_REPRO), "--rules", "R9"])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "unknown rule" in err
+
+    def test_rule_subset(self, capsys):
+        status = main([str(SRC_REPRO / "core" / "cache.py"),
+                       "--rules", "R3,R4"])
+        assert status == 0
+
+    def test_missing_path_is_usage_error(self, capsys):
+        status = main(["/nonexistent/nowhere.py"])
+        assert status == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        status = main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert status == 0
+        for rule in default_rules():
+            assert rule.id in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(SRC_REPRO),
+             "--format", "json"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["unsuppressed"] == 0

@@ -1,0 +1,536 @@
+"""Fixture-driven tests for the repro.lint rules (R1-R4).
+
+Each fixture snippet claims to be one of the contract-constrained
+modules and plants a violation; the test asserts the engine flags it
+with the expected rule id and line number, and that the sanctioned
+idioms stay clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Contracts, LintEngine, ModuleUnit
+from repro.lint.rules import (
+    CeilQuantizationRule,
+    ConfigImmutabilityRule,
+    DeterminismRule,
+    ShapePolymorphismRule,
+    default_rules,
+)
+
+
+def run_lint(module, source, rules=None, contracts=None):
+    unit = ModuleUnit.from_source(module, textwrap.dedent(source))
+    engine = LintEngine(
+        contracts if contracts is not None else Contracts(),
+        rules=rules,
+    )
+    return engine.lint_units([unit])
+
+
+CONTRACTS = Contracts(
+    ceil_quantized={"repro.core.tiling": frozenset({"ceil_div"}),
+                    "repro.core.perf": frozenset({"_compute_cycles"})},
+    polymorphic={"repro.core.perf": frozenset({"_blend_passes"})},
+    scalar_lut={"repro.core.tiling": frozenset({"choose_l2_tile"})},
+    cache_key_classes={"repro.core.perf": frozenset({"PerfOptions"})},
+)
+
+
+class TestR1CeilQuantization:
+    def test_floor_division_flagged_with_line(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                return a // b
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R1"
+        assert finding.line == 2
+        assert "floor division" in finding.message
+
+    def test_ceil_idiom_allowed(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                return -(-a // b)
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    @pytest.mark.parametrize("expr,needle", [
+        ("int(macs / eff)", "'int()'"),
+        ("round(macs / eff)", "'round()'"),
+        ("math.floor(macs / eff)", "'math.floor()'"),
+        ("math.trunc(macs / eff)", "'math.trunc()'"),
+    ])
+    def test_truncating_calls_flagged(self, expr, needle):
+        result = run_lint(
+            "repro.core.perf",
+            f"""\
+            import math
+
+            def _compute_cycles(macs, eff):
+                return {expr}
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R1" and finding.line == 4
+        assert needle in finding.message
+
+    def test_unlisted_function_not_checked(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _compute_cycles(macs, eff):
+                return macs / eff
+
+            def helper(a, b):
+                return a // b
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    def test_contract_drift_warns(self):
+        result = run_lint(
+            "repro.core.perf",
+            "def unrelated():\n    return 1\n",
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.severity == "warning"
+        assert "_compute_cycles" in finding.message
+
+
+class TestR2ShapePolymorphism:
+    def test_if_on_formula_value_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                if fit < 1.0:
+                    return l2_passes + 1.0
+                return l2_passes
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R2" and finding.line == 2
+        assert "'if' on formula value" in finding.message
+
+    def test_builtin_min_on_formula_value_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                return min(fit, l2_passes)
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.line == 2 and "'min()'" in finding.message
+
+    def test_taint_propagates_through_assignment(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                spilled = 1.0 - fit
+                return max(spilled, 0.5)
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.line == 3 and "'max()'" in finding.message
+
+    def test_any_array_dispatch_scalar_tail_allowed(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                if _any_array(staged, fit, l2_passes):
+                    return _np.where(staged, fit * 2.0, l2_passes)
+                if not staged:
+                    return l2_passes
+                return min(fit, 1.0)
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    def test_scalar_flag_branching_allowed(self):
+        # extra_pass_only is contract-pinned as a Python bool.
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes,
+                              extra_pass_only=True):
+                if extra_pass_only:
+                    return fit * 2.0
+                return fit * (l2_passes + 1.0)
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    def test_isinstance_guard_allowed(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                if isinstance(fit, int) and isinstance(staged, bool):
+                    if fit < 0:
+                        raise ValueError("bad")
+                return fit * l2_passes
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    def test_boolop_on_formula_values_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                return staged and fit
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert "'and'/'or'" in finding.message
+
+    def test_conditional_expression_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            def _blend_passes(staged, fit, l2_passes):
+                return l2_passes if staged else fit
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert "conditional expression" in finding.message
+
+    def test_uncovered_batch_import_flagged(self):
+        result = run_lint(
+            "repro.core.batch",
+            """\
+            from repro.core.perf import _blend_passes, _new_helper
+            from repro.core.tiling import choose_l2_tile
+            """,
+            rules=[ShapePolymorphismRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.line == 1
+        assert "_new_helper" in finding.message
+        assert "contract" in finding.message
+
+
+class TestR3Determinism:
+    CONTRACTS = Contracts(
+        fingerprinted_modules=frozenset({"repro.core.tiling"}),
+    )
+
+    def check(self, source, module="repro.core.tiling"):
+        return run_lint(
+            module, source, rules=[DeterminismRule()],
+            contracts=self.CONTRACTS,
+        )
+
+    @pytest.mark.parametrize("line,source", [
+        (1, "import time\n"),
+        (1, "import random\n"),
+        (1, "from random import shuffle\n"),
+        (2, "import os\nVALUE = os.environ['HOME']\n"),
+        (2, "import os\nVALUE = os.getenv('HOME')\n"),
+        (2, "KEY = 'x'\nDIGEST = hash(KEY)\n"),
+        (2, "items = set((1, 2))\nout = [x for x in items]\n"),
+        (2, "items = {1, 2}\nout = list(items)\n"),
+    ])
+    def test_nondeterminism_flagged(self, line, source):
+        result = self.check(source)
+        assert not result.ok
+        assert result.unsuppressed[0].rule == "R3"
+        assert result.unsuppressed[0].line == line
+
+    def test_sorted_set_iteration_allowed(self):
+        result = self.check(
+            """\
+            def candidates(dim):
+                sizes = set()
+                size = 1
+                while size < dim:
+                    sizes.add(size)
+                    size *= 2
+                return tuple(sorted(sizes))
+            """
+        )
+        assert result.ok
+
+    def test_membership_test_allowed(self):
+        result = self.check(
+            "items = {1, 2}\nFLAG = 1 in items\n"
+        )
+        assert result.ok
+
+    def test_unconstrained_module_ignored(self):
+        result = self.check("import time\n", module="repro.cli")
+        assert result.ok
+
+    def test_fingerprint_coverage_missing_module_flagged(self):
+        contracts = Contracts(
+            required_fingerprint_modules=frozenset(
+                {"repro.core.perf", "repro.core.batch"}
+            ),
+            cache_module="repro.core.cache",
+        )
+        result = run_lint(
+            "repro.core.cache",
+            """\
+            _FINGERPRINT_MODULES = (
+                "repro.core.perf",
+            )
+            """,
+            rules=[DeterminismRule()],
+            contracts=contracts,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R3" and finding.line == 1
+        assert "repro.core.batch" in finding.message
+
+    def test_fingerprint_coverage_complete_passes(self):
+        contracts = Contracts(
+            required_fingerprint_modules=frozenset({"repro.core.perf"}),
+        )
+        result = run_lint(
+            "repro.core.cache",
+            '_FINGERPRINT_MODULES = ("repro.core.perf",)\n',
+            rules=[DeterminismRule()],
+            contracts=contracts,
+        )
+        assert result.ok
+
+
+class TestR4ConfigImmutability:
+    def test_unfrozen_cache_key_dataclass_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class PerfOptions:
+                flexible_mapping: bool = True
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R4" and finding.line == 4
+        assert "frozen=True" in finding.message
+
+    def test_mutable_field_type_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            from dataclasses import dataclass
+            from typing import List
+
+            @dataclass(frozen=True)
+            class PerfOptions:
+                knobs: List[int] = None
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.line == 6 and "unhashable" in finding.message
+
+    def test_mutable_default_factory_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class PerfOptions:
+                knobs: tuple = field(default_factory=list)
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert "default_factory" in finding.message or "mutable" in \
+            finding.message
+
+    def test_frozen_with_tuple_fields_passes(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PerfOptions:
+                flexible_mapping: bool = True
+                reserve: float = 0.125
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+
+    def test_setattr_bypass_flagged_outside_post_init(self):
+        result = run_lint(
+            "repro.core.engine",
+            """\
+            def clobber(options):
+                object.__setattr__(options, "flexible_mapping", False)
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=Contracts(),
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R4" and finding.line == 2
+        assert "replace" in finding.message
+
+    def test_setattr_in_post_init_allowed(self):
+        result = run_lint(
+            "repro.core.engine",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Thing:
+                value: int
+
+                def __post_init__(self):
+                    object.__setattr__(self, "value", abs(self.value))
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=Contracts(),
+        )
+        assert result.ok
+
+    def test_eq_disabled_flagged(self):
+        result = run_lint(
+            "repro.core.perf",
+            """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, eq=False)
+            class PerfOptions:
+                flexible_mapping: bool = True
+            """,
+            rules=[ConfigImmutabilityRule()],
+            contracts=CONTRACTS,
+        )
+        (finding,) = result.unsuppressed
+        assert "eq" in finding.message
+
+
+class TestSuppressions:
+    def test_targeted_suppression(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                return a // b  # repro-lint: ignore[R1] -- fixture
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].suppressed
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                return a // b  # repro-lint: ignore
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                return a // b  # repro-lint: ignore[R3]
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert not result.ok
+
+    def test_suppression_is_line_scoped(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def ceil_div(a, b):
+                # repro-lint: ignore[R1]
+                return a // b
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=CONTRACTS,
+        )
+        assert not result.ok  # marker is on line 2, finding on line 3
+
+
+class TestEngine:
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(ValueError):
+            LintEngine(
+                Contracts(),
+                rules=[CeilQuantizationRule(), CeilQuantizationRule()],
+            )
+
+    def test_default_rules_cover_r1_to_r4(self):
+        assert [r.id for r in default_rules()] == [
+            "R1", "R2", "R3", "R4",
+        ]
+
+    def test_findings_sorted_by_location(self):
+        result = run_lint(
+            "repro.core.tiling",
+            """\
+            def reuse_passes(m, k, n):
+                x = m // 2
+                y = k // 2
+                return x + y
+            """,
+            rules=[CeilQuantizationRule()],
+            contracts=Contracts(
+                ceil_quantized={
+                    "repro.core.tiling": frozenset({"reuse_passes"}),
+                },
+            ),
+        )
+        lines = [f.line for f in result.unsuppressed]
+        assert lines == sorted(lines) and len(lines) == 2

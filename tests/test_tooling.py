@@ -1,6 +1,7 @@
 """Tests for the tooling layer: config IO, loop nests, SVG, CLI modes."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -164,6 +165,30 @@ class TestCliCostMode:
         assert main(["cost", "--accel-json", str(accel),
                      "--workload-json", str(wl), "--quiet"]) == 0
         assert "bert" in capsys.readouterr().out
+
+
+class TestLintSelfCheck:
+    """The shipped tree must satisfy its own invariant checker."""
+
+    SRC_REPRO = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+    def test_source_tree_is_lint_clean(self):
+        from repro.lint import lint
+
+        result = lint([self.SRC_REPRO])
+        assert result.unsuppressed == [], "\n".join(
+            f.render() for f in result.unsuppressed
+        )
+
+    def test_lint_verb_on_cli(self, capsys):
+        assert main(["lint", str(self.SRC_REPRO)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_verb_forwards_flags(self, capsys):
+        assert main(["lint", str(self.SRC_REPRO), "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"] is True
 
 
 class TestDataflowSerialization:
