@@ -1,0 +1,105 @@
+"""Benchmark: observability overhead on a fig8-scale search sweep.
+
+Runs the same exhaustive-staging DSE sweep twice — tracing off, then
+under ``obs.observed()`` with spans and counters live — taking the
+best of N repetitions on each side so scheduler noise cancels.  The
+acceptance criterion of the observability PR is asserted directly:
+
+* the traced sweep is within 5% of the untraced wall-clock, and
+* the traced run's reports (best dataflow + objective value per cell)
+  are identical to the untraced run's — instrumentation never changes
+  what the repo computes.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.arch.presets import edge
+from repro.core.dse import Objective, SearchSpace, search
+from repro.core.engine import clear_evaluation_cache
+from repro.models.configs import model_config
+from repro.ops.attention import Scope
+
+SCOPES = (Scope.LA, Scope.BLOCK)
+OBJECTIVES = (Objective.RUNTIME, Objective.ENERGY, Objective.EDP)
+ROUNDS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _sweep(cfg, accel):
+    space = SearchSpace(exhaustive_staging=True)
+    cells = {}
+    for scope in SCOPES:
+        for objective in OBJECTIVES:
+            cells[(scope, objective)] = search(
+                cfg, accel, scope=scope, objective=objective, space=space,
+                retain_points=False,
+            )
+    return cells
+
+
+def _best_of(fn, rounds):
+    """Best wall-clock of ``rounds`` cold runs (LRU cleared each time)."""
+    best_s, result = float("inf"), None
+    for _ in range(rounds):
+        clear_evaluation_cache()
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best_s:
+            best_s = elapsed
+    return best_s, result
+
+
+def test_obs_overhead_under_budget(benchmark, report_printer):
+    # BENCH_OBS_SEQ shrinks the sweep for CI smoke runs; the default
+    # is the fig8-style bandwidth-bound regime.
+    cfg = model_config("bert", seq=int(os.environ.get("BENCH_OBS_SEQ",
+                                                      "4096")))
+    accel = edge()
+
+    baseline_s, baseline = _best_of(lambda: _sweep(cfg, accel), ROUNDS)
+
+    def traced_sweep():
+        with obs.observed() as session:
+            cells = _sweep(cfg, accel)
+            traced_sweep.snapshot = session.registry.snapshot()
+            traced_sweep.spans = len(session.collector.events)
+        return cells
+
+    traced_s, traced = benchmark.pedantic(
+        lambda: _best_of(traced_sweep, ROUNDS), rounds=1, iterations=1,
+    )
+
+    overhead = traced_s / baseline_s - 1.0
+    lines = [
+        f"sweep: {len(traced)} searches, "
+        f"{traced_sweep.spans} spans recorded",
+        f"untraced best of {ROUNDS}: {baseline_s * 1e3:9.1f} ms",
+        f"traced   best of {ROUNDS}: {traced_s * 1e3:9.1f} ms "
+        f"({overhead * 100:+.2f}% overhead)",
+        f"engine.evaluated: "
+        f"{traced_sweep.snapshot['engine.evaluated']['value']}",
+    ]
+    report_printer("\n".join(lines))
+
+    # Tracing never changes results...
+    for key, base in baseline.items():
+        assert traced[key].best.dataflow == base.best.dataflow, key
+        objective = base.objective
+        assert objective.score(
+            traced[key].best.cost, traced[key].best.energy
+        ) == pytest.approx(
+            objective.score(base.best.cost, base.best.energy)
+        ), key
+    # ...the hooks actually fired...
+    assert traced_sweep.spans > 0
+    assert traced_sweep.snapshot["engine.searches"]["value"] == len(SCOPES) * len(OBJECTIVES)
+    # ...and cost less than the acceptance budget.
+    assert overhead < OVERHEAD_BUDGET, (
+        f"observability overhead {overhead * 100:.2f}% exceeds "
+        f"{OVERHEAD_BUDGET * 100:.0f}% budget"
+    )

@@ -29,7 +29,12 @@ echo "== paper tables & figures + extensions (parallel pipeline) =="
 # $OUT/experiments/reports/, work accounting in manifest.json.
 CACHE="${REPRO_CACHE_DIR:-$OUT/.dse_cache}"
 python -m repro.cli run-all --output-dir "$OUT/experiments" \
-    --cache-dir "$CACHE" 2>&1 | tee "$OUT/experiments.txt"
+    --cache-dir "$CACHE" --trace "$OUT/trace.jsonl" \
+    2>&1 | tee "$OUT/experiments.txt"
+
+echo "== trace summary (per-phase self-time + cache accounting) =="
+python -m repro.cli trace-summary "$OUT/trace.jsonl" \
+    2>&1 | tee "$OUT/trace_summary.txt"
 
 echo "== JSON exports =="
 for exp in table1 table2 fig2 fig8-edge fig8-cloud fig9-edge fig9-cloud \

@@ -17,6 +17,11 @@ The library has four layers:
   fused schedule, roofline analysis, and harnesses regenerating every
   table and figure of the paper.
 
+Two stdlib-only tooling layers sit beside them: :mod:`repro.lint`
+(static invariant checks over the cost-model sources) and
+:mod:`repro.obs` (opt-in tracing + metrics threaded through the DSE
+engine, caches and experiment pipeline).
+
 Quickstart::
 
     from repro import arch, core, models
@@ -35,6 +40,7 @@ from repro import (
     experiments,
     functional,
     models,
+    obs,
     ops,
     sim,
 )
@@ -49,6 +55,7 @@ __all__ = [
     "experiments",
     "functional",
     "models",
+    "obs",
     "ops",
     "sim",
     "__version__",

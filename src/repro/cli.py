@@ -17,15 +17,23 @@ Five modes:
   checker (:mod:`repro.lint`) over the cost-model sources; remaining
   arguments are forwarded verbatim (``--format json``, ``--rules``,
   ...).  Equivalent to ``python -m repro.lint``.
+* ``python -m repro.cli trace-summary <trace.jsonl>`` — render a trace
+  written by ``--trace``: top spans by self-time, the counter/gauge
+  and histogram tables, and the cache accounting invariant check.
 
 Every mode honors ``--cache-dir`` (or ``REPRO_CACHE_DIR``): a
 persistent cross-run cache of DSE evaluations that makes warm re-runs
-several times faster while producing byte-identical reports.
+several times faster while producing byte-identical reports.  Every
+run mode honors ``--trace PATH`` (or ``REPRO_TRACE``): observability
+(:mod:`repro.obs`) is enabled for the run and the span/metric trace is
+exported to ``PATH`` as JSON lines — reports stay byte-identical
+either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -56,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment name, 'list', 'all', 'run-all' (parallel "
             "pipeline), 'cost' (ad-hoc workload costing), 'svg' "
-            "(render figures) or 'lint' (static invariant checker)"
+            "(render figures), 'lint' (static invariant checker) or "
+            "'trace-summary' (render a --trace output file)"
         ),
     )
     parser.add_argument(
@@ -77,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent cross-run DSE evaluation cache (default: "
              "$REPRO_CACHE_DIR, or no cache); results are identical "
              "with or without it",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable observability and write the span/metric trace to "
+             "PATH as JSON lines (default: $REPRO_TRACE, or off); "
+             "render it with 'repro-flat trace-summary PATH'",
     )
     parser.add_argument(
         "--no-batch", action="store_true",
@@ -189,7 +204,9 @@ def _run_svg(args) -> str:
 
 
 def _run_pipeline_mode(args) -> int:
+    import repro.obs as obs
     from repro.experiments.pipeline import run_pipeline, write_manifest
+    from repro.obs.summary import trace_totals
 
     names = (
         [n.strip() for n in args.only.split(",") if n.strip()]
@@ -214,7 +231,15 @@ def _run_pipeline_mode(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    manifest_path = write_manifest(result, args.output_dir)
+    trace = None
+    session = obs.session()
+    if session is not None:
+        # All worker events are merged by now; write_trace itself runs
+        # when the surrounding observed() scope exits in main().
+        trace = trace_totals(
+            tuple(session.collector.events), session.registry.snapshot()
+        )
+    manifest_path = write_manifest(result, args.output_dir, trace=trace)
     search = result.aggregate_search()
     cache = result.aggregate_cache()
     print(
@@ -232,6 +257,7 @@ def _run_pipeline_mode(args) -> int:
     if result.cache_dir:
         print(
             f"persistent cache ({result.cache_dir}): "
+            f"{cache.get('lookups', 0)} lookups, "
             f"{cache.get('hits', 0)} hits, {cache.get('misses', 0)} misses, "
             f"{cache.get('writes', 0)} writes, "
             f"{cache.get('corrupt', 0)} corrupt"
@@ -242,7 +268,43 @@ def _run_pipeline_mode(args) -> int:
     return 1 if result.failures else 0
 
 
+def _run_trace_summary(argv: List[str]) -> int:
+    """The ``trace-summary`` verb: render a ``--trace`` output file.
+
+    Exits 1 when the trace's cache metrics violate the accounting
+    invariant ``hits + misses == lookups``, so CI can gate on it.
+    """
+    from repro.obs.summary import cache_invariant, format_summary
+    from repro.obs.trace import read_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro-flat trace-summary",
+        description="Summarize a JSON-lines trace written by --trace: "
+                    "top spans by self-time, counters, histograms and "
+                    "the cache accounting invariant.",
+    )
+    parser.add_argument("trace", help="path to the trace .jsonl file")
+    parser.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="span rollup rows to show (default: 12)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        data = read_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_summary(data, top=args.top))
+    invariant = cache_invariant(data.metrics)
+    if invariant is not None and not invariant[3]:
+        print("error: cache accounting invariant violated",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    import repro.obs as obs
     from repro.core.cache import default_cache_dir
     from repro.core.engine import default_batch, default_jobs
 
@@ -253,23 +315,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint import main as lint_main
 
         return lint_main(raw[1:])
+    if raw and raw[0] == "trace-summary":
+        return _run_trace_summary(raw[1:])
     args = build_parser().parse_args(raw)
     batch = False if args.no_batch else None
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    trace_path = (
+        args.trace if args.trace is not None
+        else (os.environ.get(obs.ENV_TRACE) or None)
+    )
     if args.experiment == "list":
         for name in experiment_names():
             print(name)
         return 0
     if args.experiment == "run-all":
-        with default_cache_dir(args.cache_dir):
+        with obs.maybe_observed(trace_path), \
+                default_cache_dir(args.cache_dir):
             return _run_pipeline_mode(args)
     if args.experiment in ("cost", "svg"):
         start = time.perf_counter()
         try:
-            with default_cache_dir(args.cache_dir), default_jobs(args.jobs), \
-                    default_batch(batch):
+            with obs.maybe_observed(trace_path), \
+                    default_cache_dir(args.cache_dir), \
+                    default_jobs(args.jobs), default_batch(batch):
                 report = _run_cost(args) if args.experiment == "cost" else (
                     _run_svg(args)
                 )
@@ -286,31 +356,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = experiment_names() if args.experiment == "all" else [
         args.experiment
     ]
-    for name in names:
-        start = time.perf_counter()
-        try:
-            with default_cache_dir(args.cache_dir):
-                if args.json:
-                    report = dumps(
-                        run_experiment_raw(name, jobs=args.jobs, batch=batch)
+    with obs.maybe_observed(trace_path):
+        for name in names:
+            start = time.perf_counter()
+            try:
+                with default_cache_dir(args.cache_dir):
+                    if args.json:
+                        report = dumps(
+                            run_experiment_raw(
+                                name, jobs=args.jobs, batch=batch
+                            )
+                        )
+                    else:
+                        report = run_experiment(
+                            name, jobs=args.jobs, batch=batch
+                        )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            try:
+                print(report)
+                if not args.quiet:
+                    print(
+                        f"[{name} finished in "
+                        f"{time.perf_counter() - start:.1f}s]"
                     )
-                else:
-                    report = run_experiment(name, jobs=args.jobs, batch=batch)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        try:
-            print(report)
-            if not args.quiet:
-                print(
-                    f"[{name} finished in "
-                    f"{time.perf_counter() - start:.1f}s]"
-                )
-            print()
-        except BrokenPipeError:
-            # Downstream consumer (head, less) closed the pipe early.
-            sys.stderr.close()
-            return 0
+                print()
+            except BrokenPipeError:
+                # Downstream consumer (head, less) closed the pipe early.
+                sys.stderr.close()
+                return 0
     return 0
 
 

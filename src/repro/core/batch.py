@@ -64,6 +64,7 @@ from repro.core.perf import (
 from repro.core.tiling import ceil_div, choose_l2_tile, reuse_passes
 from repro.energy.model import _PJ
 from repro.energy.tables import EnergyTable, default_table
+from repro.obs.metrics import active as _metrics_active
 from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
 from repro.ops.operator import GemmOperator, OperatorKind
 
@@ -95,6 +96,16 @@ _STAT_INDEX = {
 
 class BatchFallback(RuntimeError):
     """This grid cannot be batch-evaluated exactly; use the scalar path."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        # Counters only (this module is cache-fingerprinted, so no
+        # timing dependencies belong here); every raise site uses a
+        # fixed reason string, giving a stable per-reason breakdown.
+        registry = _metrics_active()
+        if registry is not None:
+            registry.counter("batch.fallbacks").inc()
+            registry.counter(f"batch.fallback[{reason}]").inc()
 
 
 @dataclass(frozen=True)
@@ -568,6 +579,10 @@ def evaluate_grid(
     dataflows = list(dataflows)
     if not dataflows:
         raise ValueError("evaluate_grid needs at least one candidate")
+    registry = _metrics_active()
+    if registry is not None:
+        registry.counter("batch.grids").inc()
+        registry.histogram("batch.grid_points").observe(len(dataflows))
 
     ops = operators_for_scope(cfg, scope)
     plan: List[Optional[GemmOperator]] = []

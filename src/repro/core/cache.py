@@ -22,8 +22,9 @@ missing tier — an on-disk cache shared across processes and runs:
   directory followed by an atomic :func:`os.replace`, so a reader never
   observes a half-written entry and concurrent writers of the same key
   settle on one intact copy.  Unreadable or truncated files (crashes,
-  manual tampering) are counted as ``corrupt``, deleted, and treated as
-  misses — never fatal.
+  manual tampering) are counted as ``corrupt`` *and* as misses —
+  deleted, never fatal — so ``hits + misses == lookups`` holds
+  unconditionally (see :class:`CacheStats`).
 
 * **Bounded.**  ``max_entries`` caps the store; an eviction pass (every
   ``evict_interval`` local writes, or on demand) drops the
@@ -45,11 +46,14 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import active as _metrics_active
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -126,8 +130,15 @@ class CacheStats:
 
     Counters are per-process (workers sharing a directory each count
     their own traffic); aggregate across processes by summing.
+
+    Invariant: every ``get`` is exactly one lookup and resolves to
+    exactly one of hit or miss, so ``hits + misses == lookups`` always.
+    A corrupt entry (unreadable pickle, malformed payload) counts as a
+    miss *and* bumps ``corrupt`` — ``corrupt`` subdivides misses, it is
+    not a third outcome.
     """
 
+    lookups: int = 0
     hits: int = 0
     misses: int = 0
     writes: int = 0
@@ -139,6 +150,7 @@ class CacheStats:
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
+            lookups=self.lookups - other.lookups,
             hits=self.hits - other.hits,
             misses=self.misses - other.misses,
             writes=self.writes - other.writes,
@@ -191,6 +203,30 @@ class PersistentCache:
     # -- core operations -----------------------------------------------
     def get(self, key: object) -> Optional[object]:
         """Stored value for ``key``, or ``None`` on miss/corruption."""
+        registry = _metrics_active()
+        if registry is None:
+            return self._get(key)
+        before = self.stats.copy()
+        start = time.perf_counter()
+        value = self._get(key)
+        elapsed = time.perf_counter() - start
+        delta = self.stats - before
+        registry.counter("cache.lookups").inc(delta.lookups)
+        registry.counter("cache.hits").inc(delta.hits)
+        registry.counter("cache.misses").inc(delta.misses)
+        if delta.corrupt:
+            registry.counter("cache.corrupt").inc(delta.corrupt)
+        registry.histogram("cache.get_s").observe(elapsed)
+        if self.stats.hits + self.stats.misses != self.stats.lookups:
+            raise AssertionError(
+                "cache accounting invariant violated: "
+                f"hits={self.stats.hits} + misses={self.stats.misses} "
+                f"!= lookups={self.stats.lookups}"
+            )
+        return value
+
+    def _get(self, key: object) -> Optional[object]:
+        self.stats.lookups += 1
         path, key_repr = self._entry_path(key)
         try:
             with open(path, "rb") as handle:
@@ -200,7 +236,8 @@ class PersistentCache:
             return None
         except Exception:
             # Truncated pickle, garbage bytes, unreadable file: drop the
-            # entry and carry on — a corrupt entry is just a miss.
+            # entry and carry on — a corrupt entry is a miss that also
+            # counts as corrupt.
             self._discard_corrupt(path)
             return None
         if (
@@ -220,6 +257,18 @@ class PersistentCache:
 
     def put(self, key: object, value: object) -> None:
         """Store ``value`` under ``key`` (atomic, last-writer-wins)."""
+        registry = _metrics_active()
+        if registry is None:
+            self._put(key, value)
+            return
+        before = self.stats.writes
+        start = time.perf_counter()
+        self._put(key, value)
+        elapsed = time.perf_counter() - start
+        registry.counter("cache.writes").inc(self.stats.writes - before)
+        registry.histogram("cache.put_s").observe(elapsed)
+
+    def _put(self, key: object, value: object) -> None:
         path, key_repr = self._entry_path(key)
         payload = pickle.dumps(
             (_ENTRY_HEADER, key_repr, value),
@@ -246,6 +295,9 @@ class PersistentCache:
             self.evict()
 
     def _discard_corrupt(self, path: Path) -> None:
+        # A corrupt entry is still a failed lookup: count the miss so
+        # ``hits + misses == lookups`` survives corruption.
+        self.stats.misses += 1
         self.stats.corrupt += 1
         try:
             os.unlink(path)
@@ -264,6 +316,17 @@ class PersistentCache:
         evictors are benign: unlinking an already-unlinked file is a
         no-op.
         """
+        registry = _metrics_active()
+        if registry is None:
+            return self._evict()
+        start = time.perf_counter()
+        removed = self._evict()
+        elapsed = time.perf_counter() - start
+        registry.counter("cache.evictions").inc(removed)
+        registry.histogram("cache.evict_s").observe(elapsed)
+        return removed
+
+    def _evict(self) -> int:
         self._writes_since_evict = 0
         removed = 0
         for stale in self.root.iterdir():

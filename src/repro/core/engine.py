@@ -85,6 +85,8 @@ from repro.core.perf import (
 )
 from repro.energy.model import ActivityCounts, EnergyReport, energy_report
 from repro.energy.tables import EnergyTable
+from repro.obs.metrics import active as _metrics_active
+from repro.obs.trace import span as _span
 from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
 from repro.ops.operator import GemmOperator, OperatorKind
 
@@ -104,6 +106,7 @@ __all__ = [
     "default_batch",
     "reset_search_totals",
     "search_totals",
+    "scoped_search_totals",
 ]
 
 # Multiplicative slack shaving ~1e-9 off every bound: the bound and the
@@ -273,6 +276,32 @@ def search_totals() -> dict:
     return dict(_totals)
 
 
+@contextmanager
+def scoped_search_totals() -> Iterator[None]:
+    """Zero the accumulator for a block, then restore the caller's totals.
+
+    The pipeline's in-process execution path (``workers=1``) measures
+    per-experiment work by resetting the accumulator; doing that with
+    :func:`reset_search_totals` silently destroys whatever the caller
+    had accumulated.  This scope makes the measurement side-effect-free:
+    on exit the accumulator holds exactly the values it held on entry.
+    """
+    saved = dict(_totals)
+    _totals.update(_TOTALS_ZERO)
+    try:
+        yield
+    finally:
+        _totals.clear()
+        _totals.update(saved)
+
+
+def _metric_inc(name: str, amount: int = 1) -> None:
+    if amount:
+        registry = _metrics_active()
+        if registry is not None:
+            registry.counter(name).inc(amount)
+
+
 def _accumulate(stats: SearchStats) -> None:
     _totals["searches"] += 1
     _totals["enumerated"] += stats.enumerated
@@ -282,6 +311,20 @@ def _accumulate(stats: SearchStats) -> None:
     _totals["disk_hits"] += stats.disk_hits
     _totals["batch_evaluations"] += stats.batch_evaluations
     _totals["wall_time_s"] += stats.wall_time_s
+    registry = _metrics_active()
+    if registry is not None:
+        registry.counter("engine.searches").inc()
+        registry.counter("engine.enumerated").inc(stats.enumerated)
+        registry.counter("engine.evaluated").inc(stats.evaluated)
+        registry.counter("engine.pruned").inc(stats.pruned)
+        registry.counter("engine.lru_hits").inc(
+            stats.cache_hits - stats.disk_hits
+        )
+        registry.counter("engine.disk_hits").inc(stats.disk_hits)
+        registry.counter("engine.batch_evaluations").inc(
+            stats.batch_evaluations
+        )
+        registry.gauge("engine.lru_entries").set(len(_CACHE))
 
 
 # ----------------------------------------------------------------------
@@ -394,14 +437,17 @@ def evaluate_cost(
     )
     cost = _CACHE.get(key)
     if cost is not None:
+        _metric_inc("engine.lru_hits")
         return cost
     pcache = get_default_cache()
     if pcache is not None:
         cost = pcache.get(key)
         if cost is not None:
+            _metric_inc("engine.disk_hits")
             _CACHE.put(key, cost)
             return cost
     cost = cost_scope(cfg, scope, accel, dataflow, options=options)
+    _metric_inc("engine.evaluated")
     _CACHE.put(key, cost)
     if pcache is not None:
         pcache.put(key, cost)
@@ -899,10 +945,30 @@ def run_search(
     strict, and ties resolve to the first candidate in enumeration
     order.
     """
+    with _span("search", scope=scope.name, objective=objective.name):
+        return _run_search_impl(
+            cfg, accel, scope, objective, space, options, energy_table,
+            engine, retain_points,
+        )
+
+
+def _run_search_impl(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    scope: Scope,
+    objective: Objective,
+    space: SearchSpace,
+    options: PerfOptions,
+    energy_table: Optional[EnergyTable],
+    engine: Optional[EngineOptions],
+    retain_points: bool,
+) -> DSEResult:
     start = time.perf_counter()
     if engine is None:
         engine = get_default_engine()
-    dataflows = list(enumerate_dataflows(cfg, accel, space))
+    with _span("enumerate") as sp:
+        dataflows = list(enumerate_dataflows(cfg, accel, space))
+        sp.set(candidates=len(dataflows))
     if not dataflows:
         raise ValueError("search space is empty")
 
@@ -921,10 +987,12 @@ def run_search(
     pcache = get_default_cache()
 
     if engine.batch and not retain_points:
-        result = _batch_search(
-            cfg, accel, scope, objective, options, energy_table, engine,
-            dataflows, accel_fp, pcache, use_cache, start,
-        )
+        with _span("batch-score", candidates=len(dataflows)) as sp:
+            result = _batch_search(
+                cfg, accel, scope, objective, options, energy_table, engine,
+                dataflows, accel_fp, pcache, use_cache, start,
+            )
+            sp.set(fallback=result is None)
         if result is not None:
             return result
         # BatchFallback: the grid is not exactly representable in
@@ -937,23 +1005,26 @@ def run_search(
     cache_hits = 0
     disk_hits = 0
     misses: List[int] = []
-    for i, dataflow in enumerate(dataflows):
-        key = _evaluation_key(cfg, accel_fp, dataflow, options, scope)
-        cost = _CACHE.get(key) if use_cache else None
-        if cost is None and pcache is not None:
-            cost = pcache.get(key)
-            if cost is not None:
-                disk_hits += 1
-                if use_cache:
-                    _CACHE.put(key, cost)
-        if cost is None:
-            misses.append(i)
-            continue
-        energy = (
-            energy_report(cost.counts, energy_table) if need_energy else None
-        )
-        entries[i] = (cost, energy)
-        cache_hits += 1
+    with _span("prescan") as sp:
+        for i, dataflow in enumerate(dataflows):
+            key = _evaluation_key(cfg, accel_fp, dataflow, options, scope)
+            cost = _CACHE.get(key) if use_cache else None
+            if cost is None and pcache is not None:
+                cost = pcache.get(key)
+                if cost is not None:
+                    disk_hits += 1
+                    if use_cache:
+                        _CACHE.put(key, cost)
+            if cost is None:
+                misses.append(i)
+                continue
+            energy = (
+                energy_report(cost.counts, energy_table)
+                if need_energy else None
+            )
+            entries[i] = (cost, energy)
+            cache_hits += 1
+        sp.set(hits=cache_hits, disk_hits=disk_hits, misses=len(misses))
 
     incumbent: Optional[float] = None
     for entry in entries:
@@ -979,22 +1050,26 @@ def run_search(
             incumbent = value
 
     if misses and engine.jobs == 1:
-        for i in misses:
-            dataflow = dataflows[i]
-            if prune and incumbent is not None:
-                lower = objective_lower_bound(
-                    objective, cfg, scope, accel, dataflow, options,
-                    energy_table,
+        with _span("evaluate", misses=len(misses), jobs=1) as sp:
+            for i in misses:
+                dataflow = dataflows[i]
+                if prune and incumbent is not None:
+                    lower = objective_lower_bound(
+                        objective, cfg, scope, accel, dataflow, options,
+                        energy_table,
+                    )
+                    if lower is not None and lower > incumbent:
+                        pruned += 1
+                        continue
+                cost = cost_scope(
+                    cfg, scope, accel, dataflow, options=options
                 )
-                if lower is not None and lower > incumbent:
-                    pruned += 1
-                    continue
-            cost = cost_scope(cfg, scope, accel, dataflow, options=options)
-            energy = (
-                energy_report(cost.counts, energy_table)
-                if need_energy else None
-            )
-            _absorb(i, cost, energy)
+                energy = (
+                    energy_report(cost.counts, energy_table)
+                    if need_energy else None
+                )
+                _absorb(i, cost, energy)
+            sp.set(pruned=pruned)
     elif misses:
         chunk = engine.chunk_size or max(
             1, -(-len(misses) // (engine.jobs * 4))
@@ -1002,7 +1077,8 @@ def run_search(
         chunks = [
             misses[j:j + chunk] for j in range(0, len(misses), chunk)
         ]
-        with ProcessPoolExecutor(max_workers=engine.jobs) as pool:
+        with _span("evaluate", misses=len(misses), jobs=engine.jobs) as sp, \
+                ProcessPoolExecutor(max_workers=engine.jobs) as pool:
             position = 0
             # Wave scheduling: up to ``jobs`` chunks in flight, each
             # dispatched with the freshest incumbent so later waves
@@ -1047,6 +1123,7 @@ def run_search(
                             cache_hits += 1
                             disk_hits += 1
                         _absorb(i, cost, energy, write_disk=not from_disk)
+            sp.set(pruned=pruned)
 
     # Deterministic selection: first index attaining the minimum, which
     # is exactly ``min(points, key=...)`` over the full serial sweep.

@@ -25,10 +25,12 @@ import json
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
 from repro.core.cache import (
     cost_model_fingerprint,
     default_cache_dir,
@@ -37,7 +39,7 @@ from repro.core.cache import (
 )
 from repro.core.engine import (
     default_batch,
-    reset_search_totals,
+    scoped_search_totals,
     search_totals,
 )
 from repro.experiments.runner import (
@@ -61,7 +63,14 @@ ProgressFn = Callable[["ExperimentRun", int, int], None]
 
 @dataclass(frozen=True)
 class ExperimentRun:
-    """Outcome of one experiment job."""
+    """Outcome of one experiment job.
+
+    ``trace``/``metrics`` are the job's observability payload — span
+    events and a metrics snapshot a pool worker recorded locally and
+    ships home through this (picklable) channel.  Both stay empty when
+    tracing is off, and for in-process execution (``workers=1``), where
+    events land directly in the caller's session.
+    """
 
     name: str
     status: str  # "ok" | "error"
@@ -69,6 +78,8 @@ class ExperimentRun:
     wall_time_s: float
     search: Dict[str, float]  # accumulated SearchStats totals
     cache: Dict[str, int]  # persistent-cache traffic of this job
+    trace: Tuple[Dict[str, object], ...] = ()
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -110,15 +121,27 @@ class PipelineResult:
 
 def _execute(name: str, jobs: Optional[int],
              cache_dir: Optional[str],
-             batch: Optional[bool] = None) -> ExperimentRun:
+             batch: Optional[bool] = None,
+             trace: bool = False) -> ExperimentRun:
     """Run one experiment; importable at top level so pools can pickle it.
 
-    ``cache_dir`` and ``batch`` are threaded explicitly (not inherited)
-    so the pipeline behaves identically under fork and spawn start
-    methods.
+    ``cache_dir``, ``batch`` and ``trace`` are threaded explicitly (not
+    inherited) so the pipeline behaves identically under fork and spawn
+    start methods.  The search-totals accumulator is scoped: measuring
+    this experiment's DSE work leaves the caller's totals untouched.
     """
-    with default_cache_dir(cache_dir), default_batch(batch):
-        reset_search_totals()
+    ship_obs = False
+    if trace:
+        # A forked worker inherits the parent's enabled session; adopt
+        # a fresh local one (spawned workers start without any).  Both
+        # ship their events home; the in-process path (workers=1)
+        # records straight into the caller's session and ships nothing.
+        ship_obs = obs.adopt_local()
+        if not ship_obs and obs.session() is None:
+            obs.enable()
+            ship_obs = True
+    with default_cache_dir(cache_dir), default_batch(batch), \
+            scoped_search_totals():
         pcache = get_default_cache()
         cache_before = pcache.stats.copy() if pcache is not None else None
         start = time.perf_counter()
@@ -133,14 +156,25 @@ def _execute(name: str, jobs: Optional[int],
             (pcache.stats - cache_before).as_dict()
             if pcache is not None else {}
         )
-        return ExperimentRun(
-            name=name,
-            status=status,
-            report=report,
-            wall_time_s=wall,
-            search=search_totals(),
-            cache=cache_stats,
-        )
+        search = search_totals()
+    trace_events: Tuple[Dict[str, object], ...] = ()
+    metrics_snapshot: Dict[str, Dict[str, object]] = {}
+    if ship_obs:
+        session = obs.session()
+        if session is not None:
+            trace_events = tuple(session.drain_events())
+            metrics_snapshot = session.registry.snapshot()
+        obs.disable()
+    return ExperimentRun(
+        name=name,
+        status=status,
+        report=report,
+        wall_time_s=wall,
+        search=search,
+        cache=cache_stats,
+        trace=trace_events,
+        metrics=metrics_snapshot,
+    )
 
 
 def run_pipeline(
@@ -164,8 +198,12 @@ def run_pipeline(
     default); reports are byte-identical either way.
 
     A failing experiment is reported with ``status="error"`` and does
-    not abort the others.  ``progress`` is invoked in the parent, in
-    completion order, as each experiment finishes.
+    not abort the others — including an experiment whose worker
+    *process* dies (OOM kill, segfault, ``os._exit``): the broken pool
+    is detected, survivors are re-run on fresh single-job pools, and
+    only the job that actually killed its worker is reported as an
+    error.  ``progress`` is invoked in the parent, in completion order,
+    as each experiment finishes.
     """
     selected = list(names) if names is not None else experiment_names()
     known = set(experiment_names())
@@ -183,21 +221,33 @@ def run_pipeline(
         raise ValueError("workers must be >= 1")
     if cache_dir is None:
         cache_dir = resolve_cache_dir()
+    trace = obs.is_enabled()
+
+    def _merge_obs(run: ExperimentRun) -> None:
+        session = obs.session()
+        if session is not None:
+            session.merge(list(run.trace), run.metrics)
 
     start = time.perf_counter()
     outcomes: Dict[str, ExperimentRun] = {}
     done = 0
     if workers == 1:
         for name in selected:
-            run = _execute(name, jobs, cache_dir, batch)
+            run = _execute(name, jobs, cache_dir, batch, trace)
             outcomes[name] = run
             done += 1
             if progress is not None:
                 progress(run, done, len(selected))
     else:
+        # A worker killed mid-job (OOM, segfault) breaks the whole
+        # pool: every pending future raises BrokenProcessPool and the
+        # executor cannot say which job was the casualty.  Collect the
+        # lost names here and re-run each in an isolation pool below.
+        lost: List[str] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
-                pool.submit(_execute, name, jobs, cache_dir, batch): name
+                pool.submit(_execute, name, jobs, cache_dir, batch, trace):
+                    name
                 for name in selected
             }
             while pending:
@@ -206,11 +256,23 @@ def run_pipeline(
                 )
                 for future in finished:
                     name = pending.pop(future)
-                    run = future.result()
+                    try:
+                        run = future.result()
+                    except BrokenProcessPool:
+                        lost.append(name)
+                        continue
+                    _merge_obs(run)
                     outcomes[name] = run
                     done += 1
                     if progress is not None:
                         progress(run, done, len(selected))
+        for name in sorted(lost, key=selected.index):
+            run = _execute_isolated(name, jobs, cache_dir, batch, trace)
+            _merge_obs(run)
+            outcomes[name] = run
+            done += 1
+            if progress is not None:
+                progress(run, done, len(selected))
     return PipelineResult(
         runs=tuple(outcomes[name] for name in selected),
         wall_time_s=time.perf_counter() - start,
@@ -219,7 +281,46 @@ def run_pipeline(
     )
 
 
-def write_manifest(result: PipelineResult, out_dir: os.PathLike) -> Path:
+def _execute_isolated(name: str, jobs: Optional[int],
+                      cache_dir: Optional[str],
+                      batch: Optional[bool],
+                      trace: bool) -> ExperimentRun:
+    """Re-run one job lost to a broken pool, in a pool of its own.
+
+    ``BrokenProcessPool`` cannot name its casualty, so every lost job
+    gets a fresh single-worker pool: innocents (jobs that merely shared
+    the broken pool) complete normally, and the job that kills its own
+    private worker is definitively the casualty — synthesized as an
+    error run rather than retried forever.  Running the job in a pool
+    instead of in-process keeps the parent safe from whatever killed
+    the worker (an in-process ``os._exit`` would take the parent with
+    it).
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(
+                _execute, name, jobs, cache_dir, batch, trace
+            ).result()
+    except BrokenProcessPool:
+        return ExperimentRun(
+            name=name,
+            status="error",
+            report=(
+                "worker process died unexpectedly (BrokenProcessPool): "
+                "the experiment was killed mid-run (OOM, segfault or "
+                "hard exit) and produced no report"
+            ),
+            wall_time_s=0.0,
+            search={},
+            cache={},
+        )
+
+
+def write_manifest(
+    result: PipelineResult,
+    out_dir: os.PathLike,
+    trace: Optional[Dict[str, object]] = None,
+) -> Path:
     """Persist reports and the JSON manifest; returns the manifest path.
 
     Layout: ``<out_dir>/reports/<name>.txt`` per experiment plus
@@ -227,7 +328,9 @@ def write_manifest(result: PipelineResult, out_dir: os.PathLike) -> Path:
     bytes (trailing newline added), so two runs can be compared with
     ``diff -r``; the manifest additionally records each report's
     sha256, per-experiment timing/search/cache numbers and the
-    aggregate totals.
+    aggregate totals.  ``trace`` (the rollup from
+    :func:`repro.obs.summary.trace_totals`) is embedded only when
+    given, so untraced manifests are unchanged.
     """
     out = Path(out_dir)
     reports_dir = out / "reports"
@@ -261,6 +364,8 @@ def write_manifest(result: PipelineResult, out_dir: os.PathLike) -> Path:
             "cache": result.aggregate_cache(),
         },
     }
+    if trace is not None:
+        manifest["trace"] = trace
     manifest_path = out / "manifest.json"
     manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True)
                              + "\n")

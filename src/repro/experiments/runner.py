@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.engine import default_batch, default_jobs
+from repro.obs.trace import span as _span
 from repro.experiments import (
     ext_batch,
     ext_decode,
@@ -169,7 +170,8 @@ def run_experiment(name: str, jobs: Optional[int] = None,
         raise ValueError(
             f"unknown experiment {name!r}; choose from {experiment_names()}"
         ) from None
-    with default_jobs(jobs), default_batch(batch):
+    with default_jobs(jobs), default_batch(batch), \
+            _span("experiment", name=name):
         return runner()
 
 
@@ -189,5 +191,6 @@ def run_experiment_raw(name: str, jobs: Optional[int] = None,
             f"no raw rows for {name!r}; choose from "
             f"{sorted(RAW_EXPERIMENTS)}"
         ) from None
-    with default_jobs(jobs), default_batch(batch):
+    with default_jobs(jobs), default_batch(batch), \
+            _span("experiment", name=name, raw=True):
         return runner()

@@ -46,6 +46,7 @@ __all__ = [
     "NON_FORMULA_IMPORTS",
     "SCALAR_FLAG_PARAMS",
     "REQUIRED_FINGERPRINT_MODULES",
+    "FINGERPRINT_EXCLUDED_PREFIXES",
     "CACHE_KEY_CLASSES",
     "Contracts",
 ]
@@ -143,6 +144,17 @@ REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
     "repro.arch.cluster",
 })
 
+#: R3 — module prefixes that must *never* appear in the fingerprint
+#: list: tooling layers whose code never enters a cached payload.
+#: Fingerprinting them would make every tracing or linter edit
+#: spuriously invalidate the whole disk cache; the observability hooks
+#: are designed to stay outside the fingerprint (and outside cached
+#: payloads) for exactly this reason.
+FINGERPRINT_EXCLUDED_PREFIXES: FrozenSet[str] = frozenset({
+    "repro.obs",
+    "repro.lint",
+})
+
 #: R4 — frozen dataclasses embedded in the engine's evaluation key
 #: (``(cfg, accelerator_fingerprint, dataflow, options, scope)``).
 CACHE_KEY_CLASSES: Mapping[str, FrozenSet[str]] = _table({
@@ -183,6 +195,9 @@ class Contracts:
     scalar_flag_params: FrozenSet[str] = SCALAR_FLAG_PARAMS
     required_fingerprint_modules: FrozenSet[str] = (
         REQUIRED_FINGERPRINT_MODULES
+    )
+    fingerprint_excluded_prefixes: FrozenSet[str] = (
+        FINGERPRINT_EXCLUDED_PREFIXES
     )
     cache_key_classes: Mapping[str, FrozenSet[str]] = field(
         default_factory=lambda: CACHE_KEY_CLASSES

@@ -610,6 +610,21 @@ class DeterminismRule(Rule):
                 f"module(s) {sorted(missing)}: edits there would not "
                 "invalidate stale disk cache entries",
             )
+        excluded = sorted(
+            module for module in listed
+            if any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in contracts.fingerprint_excluded_prefixes
+            )
+        )
+        if excluded:
+            yield self.finding(
+                unit, anchor,
+                f"fingerprinted module(s) {excluded} belong to tooling "
+                "layers (observability/lint) that must stay outside the "
+                "cost-model fingerprint: edits there would spuriously "
+                "invalidate every cached evaluation",
+            )
 
     # -- module body ---------------------------------------------------
     def _check_module(self, unit):

@@ -1,0 +1,163 @@
+"""repro.obs — zero-dependency tracing + metrics for the DSE stack.
+
+One :class:`ObsSession` bundles a :class:`~repro.obs.trace.TraceCollector`
+and a :class:`~repro.obs.metrics.MetricsRegistry` and owns their
+process-local activation.  Everything is stdlib-only by design: the
+instrumented modules (`core/engine.py`, `core/cache.py`,
+`core/batch.py`, `experiments/pipeline.py`) import `repro.obs.trace`
+/ `repro.obs.metrics` directly, which keeps the package import-light
+and free of cycles.
+
+Usage (the CLI does exactly this for ``--trace`` / ``REPRO_TRACE``)::
+
+    with obs.observed("out/trace.jsonl"):
+        run_pipeline([...])
+
+Off by default, and a strict no-op when off — the hooks see ``None``
+from ``trace.active()`` / ``metrics.active()`` and fall through.
+
+Fork-inherited sessions: on Linux the process pool forks, so a worker
+starts with the parent's *enabled* session in its memory image.
+Recording into that copy would be silently discarded, so sessions are
+pid-stamped and workers call :func:`adopt_local` — when the inherited
+session's pid is foreign, the worker swaps in a fresh local session
+and ships its events/metrics back through the ``ExperimentRun``
+channel (see :mod:`repro.experiments.pipeline`).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_SCHEMA, TraceCollector, read_trace, span, write_trace
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "ENV_TRACE",
+    "ObsSession",
+    "span",
+    "is_enabled",
+    "enable",
+    "disable",
+    "session",
+    "adopt_local",
+    "observed",
+    "maybe_observed",
+    "read_trace",
+    "write_trace",
+]
+
+#: Environment variable giving a default trace output path.
+ENV_TRACE = "REPRO_TRACE"
+
+
+class ObsSession:
+    """A collector + registry pair owned by one process."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.collector = TraceCollector()
+        self.registry = MetricsRegistry()
+
+    def drain_events(self) -> List[Dict[str, object]]:
+        return self.collector.drain()
+
+    def merge(
+        self,
+        events: Optional[List[Dict[str, object]]] = None,
+        metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        """Fold a worker's shipped events + metrics into this session."""
+        if events:
+            self.collector.extend(events)
+        if metrics_snapshot:
+            self.registry.merge(metrics_snapshot)
+
+
+_session: Optional[ObsSession] = None
+
+
+def session() -> Optional[ObsSession]:
+    """The enabled session, or ``None`` (also ``None`` if inherited-foreign)."""
+    current = _session
+    if current is not None and current.pid != os.getpid():
+        return None
+    return current
+
+
+def is_enabled() -> bool:
+    return session() is not None
+
+
+def enable() -> ObsSession:
+    """Switch observability on for this process (idempotent)."""
+    global _session
+    current = session()
+    if current is not None:
+        return current
+    current = ObsSession()
+    _session = current
+    _trace.activate(current.collector)
+    _metrics.activate(current.registry)
+    return current
+
+
+def disable() -> None:
+    global _session
+    _session = None
+    _trace.deactivate()
+    _metrics.deactivate()
+
+
+def adopt_local() -> bool:
+    """Replace a fork-inherited foreign session with a fresh local one.
+
+    Returns True when an inherited enabled session was detected — the
+    caller (a pool worker) should drain its local session afterwards
+    and ship events/metrics back to the parent.  Returns False when
+    observability is off, or when this process already owns the
+    session (``workers=1`` in-process execution: events land directly
+    in the caller's session and nothing needs shipping).
+    """
+    global _session
+    current = _session
+    if current is None:
+        return False
+    if current.pid == os.getpid():
+        return False
+    disable()
+    enable()
+    return True
+
+
+@contextmanager
+def observed(trace_path: Optional[os.PathLike] = None):
+    """Enable observability for a block; optionally export on exit.
+
+    Yields the :class:`ObsSession`.  When ``trace_path`` is given, the
+    trace (spans + metrics snapshot) is written there even if the body
+    raises — a crashing run leaves evidence, not nothing.
+    """
+    current = enable()
+    try:
+        yield current
+    finally:
+        if trace_path:
+            write_trace(trace_path, current.collector,
+                        metrics=current.registry.snapshot())
+        disable()
+
+
+@contextmanager
+def maybe_observed(trace_path: Optional[os.PathLike]):
+    """:func:`observed` when a path is given, pure no-op otherwise."""
+    if trace_path:
+        with observed(trace_path) as current:
+            yield current
+    else:
+        yield None

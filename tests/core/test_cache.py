@@ -64,7 +64,12 @@ class TestRoundTrip:
 
 
 class TestCorruption:
-    """Corrupted or truncated entries are skipped — counted, not fatal."""
+    """Corrupted or truncated entries are skipped — counted, not fatal.
+
+    Regression coverage for the miss-accounting bug: the corruption
+    paths used to bump only ``corrupt``, so ``hits + misses`` drifted
+    below ``lookups``.  Every corruption is a miss *and* a corrupt.
+    """
 
     def test_truncated_entry_is_a_miss(self, cache):
         key = ("k", 1)
@@ -74,6 +79,7 @@ class TestCorruption:
         path.write_bytes(payload[: len(payload) // 2])
         assert cache.get(key) is None
         assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1, "a corrupt entry must count as a miss"
         assert not path.exists(), "corrupt entry should be discarded"
 
     def test_garbage_bytes_are_a_miss(self, cache):
@@ -82,6 +88,7 @@ class TestCorruption:
         _entry_file(cache, key).write_bytes(b"not a pickle at all")
         assert cache.get(key) is None
         assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
 
     def test_wrong_header_is_a_miss(self, cache):
         key = ("k", 3)
@@ -91,6 +98,7 @@ class TestCorruption:
         )
         assert cache.get(key) is None
         assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
 
     def test_cache_recovers_after_corruption(self, cache):
         key = ("k", 4)
@@ -99,6 +107,19 @@ class TestCorruption:
         assert cache.get(key) is None
         cache.put(key, "new")
         assert cache.get(key) == "new"
+
+    def test_accounting_invariant_survives_corruption(self, cache):
+        """hits + misses == lookups through hits, misses and corruption."""
+        cache.put(("ok",), 1)
+        assert cache.get(("ok",)) == 1  # hit
+        assert cache.get(("absent",)) is None  # plain miss
+        cache.put(("bad",), 2)
+        _entry_file(cache, ("bad",)).write_bytes(b"garbage")
+        assert cache.get(("bad",)) is None  # corrupt miss
+        stats = cache.stats
+        assert stats.lookups == 3
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.hits == 1 and stats.misses == 2 and stats.corrupt == 1
 
 
 class TestFingerprintInvalidation:
@@ -253,7 +274,9 @@ class TestEngineIntegration:
         assert second == cost_scope(small_cfg, Scope.LA, accel, dataflow)
 
     def test_stats_deltas_subtract(self):
-        a = CacheStats(hits=5, misses=3, writes=2, corrupt=1, evictions=0)
-        b = CacheStats(hits=1, misses=1, writes=1, corrupt=0, evictions=0)
-        assert (a - b) == CacheStats(hits=4, misses=2, writes=1, corrupt=1,
-                                     evictions=0)
+        a = CacheStats(lookups=8, hits=5, misses=3, writes=2, corrupt=1,
+                       evictions=0)
+        b = CacheStats(lookups=2, hits=1, misses=1, writes=1, corrupt=0,
+                       evictions=0)
+        assert (a - b) == CacheStats(lookups=6, hits=4, misses=2, writes=1,
+                                     corrupt=1, evictions=0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -76,6 +77,48 @@ class TestRunPipeline:
         assert failed.status == "error"
         assert "synthetic failure" in failed.report
         assert result.failures == (failed,)
+
+    def test_dead_worker_does_not_abort_pipeline(self, monkeypatch):
+        """A worker that dies mid-job must not take the run down.
+
+        Regression: ``os._exit`` in a pool worker raises
+        BrokenProcessPool out of *every* pending future, which used to
+        abort ``run_pipeline`` wholesale.  Now the lost job is retried
+        in an isolation pool (where it dies again, definitively), gets
+        a synthesized ``error`` run, and the survivors complete.
+        """
+        def killer(name, jobs=None):
+            if name == "table2":
+                os._exit(13)
+            return run_experiment(name, jobs=jobs)
+
+        monkeypatch.setattr(pipeline_mod, "run_experiment", killer)
+        result = run_pipeline(names=SUBSET, workers=2, cache_dir="")
+        assert tuple(r.name for r in result.runs) == SUBSET
+        by_name = {r.name: r for r in result.runs}
+        assert by_name["table2"].status == "error"
+        assert "BrokenProcessPool" in by_name["table2"].report
+        assert by_name["table1"].ok
+        assert by_name["fig2"].ok
+        assert result.failures == (by_name["table2"],)
+
+    def test_pipeline_preserves_caller_search_totals(self):
+        """Regression: run_pipeline used to zero the caller's totals.
+
+        The serial path shares this process's accumulator; it must
+        save and restore it instead of resetting it in place.
+        """
+        from repro.core import engine
+
+        engine.reset_search_totals()
+        engine._totals["searches"] = 7
+        engine._totals["evaluated"] = 11
+        before = engine.search_totals()
+        try:
+            run_pipeline(names=("table1",), workers=1, cache_dir="")
+            assert engine.search_totals() == before
+        finally:
+            engine.reset_search_totals()
 
 
 class TestManifest:

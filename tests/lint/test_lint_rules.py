@@ -332,6 +332,28 @@ class TestR3Determinism:
         )
         assert result.ok
 
+    def test_fingerprinted_tooling_module_flagged(self):
+        contracts = Contracts(
+            required_fingerprint_modules=frozenset({"repro.core.perf"}),
+        )
+        result = run_lint(
+            "repro.core.cache",
+            """\
+            _FINGERPRINT_MODULES = (
+                "repro.core.perf",
+                "repro.obs.trace",
+                "repro.lint",
+            )
+            """,
+            rules=[DeterminismRule()],
+            contracts=contracts,
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R3" and finding.line == 1
+        assert "repro.lint" in finding.message
+        assert "repro.obs.trace" in finding.message
+        assert "spuriously invalidate" in finding.message
+
 
 class TestR4ConfigImmutability:
     def test_unfrozen_cache_key_dataclass_flagged(self):

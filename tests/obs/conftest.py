@@ -1,0 +1,13 @@
+"""Shared guard: never leak an enabled obs session between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after():
+    yield
+    obs.disable()

@@ -1,0 +1,108 @@
+"""Tests for the counter/gauge/histogram registry and its snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc()
+        registry.counter("cache.hits").inc(4)
+        assert registry.snapshot() == {
+            "cache.hits": {"kind": "counter", "value": 5},
+        }
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("engine.lru_entries").set(10)
+        registry.gauge("engine.lru_entries").set(3)
+        assert registry.snapshot()["engine.lru_entries"]["value"] == 3
+
+    def test_histogram_tracks_extremes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("cache.get_s")
+        for sample in (0.5, 0.1, 0.9):
+            hist.observe(sample)
+        assert registry.snapshot()["cache.get_s"] == {
+            "kind": "histogram", "count": 3,
+            "total": pytest.approx(1.5), "min": 0.1, "max": 0.9,
+        }
+
+    def test_empty_histogram_omits_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("x")
+        assert registry.snapshot()["x"] == {
+            "kind": "histogram", "count": 0, "total": 0.0,
+        }
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="is a counter, not a gauge"):
+            registry.gauge("x")
+
+    def test_snapshot_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second")
+        registry.counter("a.first")
+        assert list(registry.snapshot()) == ["a.first", "b.second"]
+
+
+class TestDiff:
+    def test_counters_and_histograms_subtract(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.counter("n").inc(5)
+        registry.histogram("h").observe(3.0)
+        registry.gauge("g").set(9)
+        after = registry.snapshot()
+        delta = MetricsRegistry.diff(after, before)
+        assert delta["n"]["value"] == 5
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["total"] == pytest.approx(3.0)
+        # min/max don't subtract: the after-window extremes survive.
+        assert delta["h"]["min"] == 1.0 and delta["h"]["max"] == 3.0
+        # Gauges are levels: diff keeps the after value.
+        assert delta["g"]["value"] == 9
+
+    def test_names_only_in_after_pass_through(self):
+        delta = MetricsRegistry.diff(
+            {"new": {"kind": "counter", "value": 3}}, {}
+        )
+        assert delta == {"new": {"kind": "counter", "value": 3}}
+
+
+class TestMerge:
+    def test_merge_folds_worker_snapshot(self):
+        parent = MetricsRegistry()
+        parent.counter("cache.hits").inc(2)
+        parent.histogram("cache.get_s").observe(0.5)
+        worker = MetricsRegistry()
+        worker.counter("cache.hits").inc(3)
+        worker.counter("cache.misses").inc(1)
+        worker.histogram("cache.get_s").observe(0.1)
+        worker.gauge("engine.lru_entries").set(42)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["cache.hits"]["value"] == 5
+        assert snap["cache.misses"]["value"] == 1
+        assert snap["cache.get_s"]["count"] == 2
+        assert snap["cache.get_s"]["min"] == 0.1
+        assert snap["engine.lru_entries"]["value"] == 42
+
+    def test_merge_empty_histogram_is_identity(self):
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(1.0)
+        parent.merge({"h": {"kind": "histogram", "count": 0, "total": 0.0}})
+        snap = parent.snapshot()["h"]
+        assert snap["count"] == 1 and snap["min"] == 1.0
+
+    def test_merge_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            MetricsRegistry().merge({"x": {"kind": "quantile", "value": 1}})

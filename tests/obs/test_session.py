@@ -1,0 +1,93 @@
+"""Tests for process-local session lifecycle and fork adoption."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+from repro.obs.trace import read_trace
+
+
+class TestLifecycle:
+    def test_off_by_default(self):
+        assert obs.session() is None
+        assert not obs.is_enabled()
+        assert trace_mod.active() is None
+        assert metrics_mod.active() is None
+
+    def test_enable_is_idempotent(self):
+        first = obs.enable()
+        assert obs.enable() is first
+        assert obs.session() is first
+        assert trace_mod.active() is first.collector
+        assert metrics_mod.active() is first.registry
+
+    def test_disable_clears_all_activation(self):
+        obs.enable()
+        obs.disable()
+        assert obs.session() is None
+        assert trace_mod.active() is None
+        assert metrics_mod.active() is None
+
+
+class TestAdoptLocal:
+    def test_noop_when_off(self):
+        assert obs.adopt_local() is False
+        assert obs.session() is None
+
+    def test_noop_when_session_is_local(self):
+        session = obs.enable()
+        assert obs.adopt_local() is False
+        assert obs.session() is session
+
+    def test_foreign_session_is_replaced(self):
+        inherited = obs.enable()
+        # Simulate a fork-inherited memory image: the session carries
+        # the parent's pid, so this "worker" must not record into it.
+        inherited.pid -= 1
+        assert obs.session() is None, "foreign session must read as off"
+        assert obs.adopt_local() is True
+        fresh = obs.session()
+        assert fresh is not None and fresh is not inherited
+        assert obs.adopt_local() is False, "second call sees a local session"
+
+
+class TestObserved:
+    def test_observed_writes_trace_and_disables(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.observed(path) as session:
+            with obs.span("unit"):
+                pass
+            session.registry.counter("n").inc()
+        assert obs.session() is None
+        data = read_trace(path)
+        assert [s["name"] for s in data.spans] == ["unit"]
+        assert data.metrics["n"]["value"] == 1
+
+    def test_observed_writes_trace_on_exception(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with obs.observed(path):
+                with obs.span("doomed"):
+                    raise RuntimeError("crash")
+        data = read_trace(path)
+        assert data.spans[0]["error"] == "RuntimeError"
+
+    def test_observed_without_path_writes_nothing(self, tmp_path):
+        with obs.observed() as session:
+            assert session is not None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_maybe_observed_none_is_pure_noop(self):
+        with obs.maybe_observed(None) as session:
+            assert session is None
+            assert not obs.is_enabled()
+
+    def test_maybe_observed_path_enables(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.maybe_observed(path) as session:
+            assert session is not None
+            assert obs.is_enabled()
+        assert path.exists()
