@@ -84,9 +84,14 @@ def test_batch_vs_scalar_speedup(benchmark, report_printer):
 
     # An engine search drives the backend end-to-end and leaves real
     # totals in search_totals() for the BENCH_pipeline.json artifact.
+    # candidates=False: this benchmark isolates the batch backend on
+    # the full grid; the generated front end (which batch-scores only
+    # the families that survive its bounds) has its own benchmark in
+    # bench_candidates.py.
     clear_evaluation_cache()
     res = search(cfg, accel, scope=scope, space=space,
-                 engine=EngineOptions(jobs=1, cache_size=0),
+                 engine=EngineOptions(jobs=1, cache_size=0,
+                                      candidates=False),
                  retain_points=False)
     assert res.stats.batch_evaluations == res.stats.enumerated
     assert float(res.best.cost.total_cycles) == min(

@@ -10,6 +10,14 @@ one row per benchmark with its wall time and the DSE engine's
 accumulated :func:`~repro.core.engine.search_totals` — so successive
 PRs have a perf trajectory to compare against.  The path is
 overridable via ``BENCH_PIPELINE_PATH``.
+
+Schema v2 adds the candidate-generation counters: the full totals dict
+(``search``) gains ``candidates_generated`` / ``candidates_skipped`` /
+``families_pruned``, and the work-avoidance headline numbers are
+additionally lifted to the row's top level (``evaluations`` — scalar
+plus batch scoring calls — and ``candidates_skipped``) so trajectory
+diffs across PRs can track pruning effectiveness without digging into
+the nested totals.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import pytest
 
 from repro.core.engine import reset_search_totals, search_totals
 
-_ARTIFACT_SCHEMA = "repro-bench-trajectory/1"
+_ARTIFACT_SCHEMA = "repro-bench-trajectory/2"
 _rows = []
 
 
@@ -48,11 +56,16 @@ def pytest_runtest_call(item):
     reset_search_totals()
     start = time.perf_counter()
     yield
+    totals = search_totals()
     _rows.append(
         {
             "benchmark": item.nodeid,
             "wall_time_s": time.perf_counter() - start,
-            "search": search_totals(),
+            "evaluations": (
+                totals.get("evaluated", 0) + totals.get("batch_evaluations", 0)
+            ),
+            "candidates_skipped": totals.get("candidates_skipped", 0),
+            "search": totals,
         }
     )
 

@@ -99,6 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
              "per-candidate scalar loop (results are identical; this "
              "is an escape hatch and an equivalence-checking aid)",
     )
+    parser.add_argument(
+        "--no-candidates", action="store_true",
+        help="disable analytic candidate generation / branch-and-bound "
+             "and enumerate the full dataflow grid (results are "
+             "identical; this is an escape hatch and an "
+             "equivalence-checking aid)",
+    )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="seed each sweep point's search with the neighboring "
+             "point's winner (incremental re-search; results are "
+             "identical, only the amount of work changes)",
+    )
     pipe = parser.add_argument_group("run-all mode")
     pipe.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -227,6 +240,8 @@ def _run_pipeline_mode(args) -> int:
             names=names, workers=args.workers, jobs=args.jobs,
             progress=None if args.quiet else _progress,
             batch=False if args.no_batch else None,
+            candidates=False if args.no_candidates else None,
+            warm_start=True if args.warm_start else None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -306,7 +321,12 @@ def _run_trace_summary(argv: List[str]) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     import repro.obs as obs
     from repro.core.cache import default_cache_dir
-    from repro.core.engine import default_batch, default_jobs
+    from repro.core.engine import (
+        default_batch,
+        default_candidates,
+        default_jobs,
+        default_warm_start,
+    )
 
     raw = list(sys.argv[1:]) if argv is None else list(argv)
     if raw and raw[0] == "lint":
@@ -319,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace_summary(raw[1:])
     args = build_parser().parse_args(raw)
     batch = False if args.no_batch else None
+    candidates = False if args.no_candidates else None
+    warm_start = True if args.warm_start else None
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -339,7 +361,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             with obs.maybe_observed(trace_path), \
                     default_cache_dir(args.cache_dir), \
-                    default_jobs(args.jobs), default_batch(batch):
+                    default_jobs(args.jobs), default_batch(batch), \
+                    default_candidates(candidates), \
+                    default_warm_start(warm_start):
                 report = _run_cost(args) if args.experiment == "cost" else (
                     _run_svg(args)
                 )
@@ -364,12 +388,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                     if args.json:
                         report = dumps(
                             run_experiment_raw(
-                                name, jobs=args.jobs, batch=batch
+                                name, jobs=args.jobs, batch=batch,
+                                candidates=candidates,
+                                warm_start=warm_start,
                             )
                         )
                     else:
                         report = run_experiment(
-                            name, jobs=args.jobs, batch=batch
+                            name, jobs=args.jobs, batch=batch,
+                            candidates=candidates, warm_start=warm_start,
                         )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)

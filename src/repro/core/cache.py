@@ -86,6 +86,8 @@ _FINGERPRINT_MODULES: Tuple[str, ...] = (
     "repro.core.tiling",
     "repro.core.batch",
     "repro.core.dataflow",
+    "repro.core.dse",
+    "repro.core.candidates",
     "repro.energy.model",
     "repro.ops.attention",
     "repro.ops.operator",

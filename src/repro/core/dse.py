@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
@@ -35,6 +36,7 @@ from repro.energy.tables import EnergyTable
 from repro.ops.attention import AttentionConfig, Scope
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.candidates import Incumbent
     from repro.core.engine import EngineOptions, SearchStats
 
 __all__ = [
@@ -42,6 +44,10 @@ __all__ = [
     "DesignPoint",
     "DSEResult",
     "SearchSpace",
+    "DataflowFamily",
+    "enumerate_families",
+    "expand_family",
+    "family_size",
     "enumerate_dataflows",
     "search",
 ]
@@ -165,6 +171,7 @@ def _default_row_choices(seq_q: int) -> Tuple[int, ...]:
     return tuple(rows)
 
 
+@lru_cache(maxsize=None)
 def _staging_choices(exhaustive: bool) -> Tuple[StagingPolicy, ...]:
     """FLAT-tile enable/disable combinations to explore.
 
@@ -214,13 +221,60 @@ class SearchSpace:
             raise ValueError("empty granularity set with no plain base")
 
 
-def enumerate_dataflows(
-    cfg: AttentionConfig,
-    accel: Accelerator,
-    space: SearchSpace = SearchSpace(),
-) -> Iterator[Dataflow]:
-    """Yield every dataflow configuration in the search space."""
-    stagings = _staging_choices(space.exhaustive_staging)
+@dataclass(frozen=True)
+class DataflowFamily:
+    """One contiguous run of the enumeration order sharing a bound.
+
+    A family fixes everything the engine's admissible lower bound
+    (:func:`repro.core.engine.objective_lower_bound`) depends on beyond
+    the staging policy — stationarity, cross-loop granularity, and, for
+    R granularity, the row count — and leaves only the staging corners
+    (and, for M/B/H, the fused/unfused toggle) to expansion.  Because
+    :func:`enumerate_dataflows` is exactly the concatenation of
+    :func:`expand_family` over :func:`enumerate_families`, a family's
+    members occupy a contiguous index range of the exhaustive order,
+    which is what lets branch-and-bound skip whole families while
+    preserving the engine's first-in-enumeration-order tie-break.
+
+    ``granularity=None`` is the plain (no L3 tile) baseline family,
+    whose single member is :func:`repro.core.dataflow.base`.  ``rows``
+    is set iff the granularity is R.
+    """
+
+    stationarity: Stationarity
+    granularity: Optional[Granularity]
+    rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.rows is not None) != (self.granularity is Granularity.R):
+            raise ValueError("rows must be set exactly for R granularity")
+        if self.rows is not None and self.rows < 1:
+            raise ValueError("rows must be >= 1")
+
+
+@lru_cache(maxsize=None)
+def _enabled_stagings(exhaustive: bool) -> Tuple[StagingPolicy, ...]:
+    """The staging corners that actually stage something.
+
+    The all-disabled corner of the exhaustive 2^5 product is excluded:
+    it is the plain baseline, which enumerates separately (and only
+    once) as the ``granularity=None`` family.
+    """
+    return tuple(
+        s for s in _staging_choices(exhaustive) if s.any_enabled
+    )
+
+
+def enumerate_families(
+    cfg: AttentionConfig, space: SearchSpace = SearchSpace()
+) -> Iterator[DataflowFamily]:
+    """Yield the space's families in enumeration order.
+
+    ``cfg`` resolves the default row ladder when ``space.row_choices``
+    is ``None``; each R row count is its own family because the bound
+    (compute efficiency, K/V streaming passes, intermediate residency)
+    varies with the row count.
+    """
     rows = (
         space.row_choices
         if space.row_choices is not None
@@ -228,24 +282,72 @@ def enumerate_dataflows(
     )
     for stat in space.stationarities:
         if space.allow_unfused and space.include_plain_base:
-            yield base(stationarity=stat)
+            yield DataflowFamily(stat, None)
         for gran in space.granularities:
             if gran is Granularity.R:
                 if not space.allow_fused:
                     continue
                 for r in rows:
-                    for staging in stagings:
-                        if not staging.any_enabled:
-                            continue
-                        yield flat_r(r, staging=staging, stationarity=stat)
+                    yield DataflowFamily(stat, Granularity.R, r)
                 continue
-            for staging in stagings:
-                if not staging.any_enabled:
-                    continue
-                if space.allow_unfused:
-                    yield base_x(gran, staging=staging, stationarity=stat)
-                if space.allow_fused:
-                    yield flat_x(gran, staging=staging, stationarity=stat)
+            yield DataflowFamily(stat, gran)
+
+
+def expand_family(
+    cfg: AttentionConfig,
+    family: DataflowFamily,
+    space: SearchSpace = SearchSpace(),
+) -> Iterator[Dataflow]:
+    """Yield a family's members in their exhaustive-enumeration order.
+
+    Per staging corner the unfused (``Base-X``) variant precedes the
+    fused (``FLAT-X``) one, mirroring :func:`enumerate_dataflows`.
+    """
+    stat = family.stationarity
+    if family.granularity is None:
+        yield base(stationarity=stat)
+        return
+    stagings = _enabled_stagings(space.exhaustive_staging)
+    if family.granularity is Granularity.R:
+        for staging in stagings:
+            yield flat_r(family.rows, staging=staging, stationarity=stat)
+        return
+    for staging in stagings:
+        if space.allow_unfused:
+            yield base_x(family.granularity, staging=staging,
+                         stationarity=stat)
+        if space.allow_fused:
+            yield flat_x(family.granularity, staging=staging,
+                         stationarity=stat)
+
+
+def family_size(
+    family: DataflowFamily, space: SearchSpace = SearchSpace()
+) -> int:
+    """Member count of :func:`expand_family` without expanding it."""
+    if family.granularity is None:
+        return 1
+    n_stagings = len(_enabled_stagings(space.exhaustive_staging))
+    if family.granularity is Granularity.R:
+        return n_stagings
+    return n_stagings * (int(space.allow_unfused) + int(space.allow_fused))
+
+
+def enumerate_dataflows(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    space: SearchSpace = SearchSpace(),
+) -> Iterator[Dataflow]:
+    """Yield every dataflow configuration in the search space.
+
+    Defined as the ordered concatenation of :func:`expand_family` over
+    :func:`enumerate_families` — the candidate generator and the
+    exhaustive path share one enumeration, so family index ranges are
+    global enumeration indices by construction.  ``accel`` is unused
+    (the space is hardware-independent) and kept for API stability.
+    """
+    for family in enumerate_families(cfg, space):
+        yield from expand_family(cfg, family, space)
 
 
 def search(
@@ -258,6 +360,7 @@ def search(
     energy_table: Optional[EnergyTable] = None,
     engine: Optional["EngineOptions"] = None,
     retain_points: bool = True,
+    warm_start: Optional["Incumbent"] = None,
 ) -> DSEResult:
     """Exhaustively evaluate the space and return the optimum.
 
@@ -270,8 +373,11 @@ def search(
     selects its parallelism / pruning / memoization knobs (``None``
     uses the process default, which is serial) and
     ``retain_points=False`` drops everything but the winner, enabling
-    pruning and lazy energy accounting.  The best point is identical
-    either way; see :func:`repro.core.engine.run_search`.
+    pruning and lazy energy accounting.  ``warm_start`` optionally
+    seeds the candidate-generation path with a neighboring search's
+    winner (see :class:`repro.core.candidates.Incumbent`).  The best
+    point is identical either way; see
+    :func:`repro.core.engine.run_search`.
     """
     from repro.core.engine import run_search
 
@@ -285,4 +391,5 @@ def search(
         energy_table=energy_table,
         engine=engine,
         retain_points=retain_points,
+        warm_start=warm_start,
     )

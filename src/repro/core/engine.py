@@ -1,11 +1,28 @@
-"""Search engine for the dataflow DSE: parallel, pruned, memoized.
+"""Search engine for the dataflow DSE: generated, pruned, memoized.
 
 :func:`repro.core.dse.search` delegates the actual work to
-:func:`run_search` here.  Four cooperating optimizations turn the
+:func:`run_search` here.  Seven cooperating optimizations turn the
 paper's exhaustive sweep (section 5.3.3) — repeated across five models,
 sequence lengths 512 to 256K, two platforms and several accelerator
 variants — from a serial full-evaluation loop into something that
 scales:
+
+0. **Analytic candidate generation + branch-and-bound.**  The default
+   front end (:mod:`repro.core.candidates`) never materializes the full
+   grid: the space is planned as *families* (stationarity x granularity
+   x row count; see :class:`repro.core.dse.DataflowFamily`), each gets
+   an admissible lower bound from its cheapest representative member,
+   and families are scored best-bound-first — the best family's batch
+   scores seed the incumbent, then every family whose bound exceeds the
+   incumbent is skipped without ever expanding its members.  A
+   ``warm_start`` :class:`~repro.core.candidates.Incumbent` (the
+   neighboring sweep point's winner, re-evaluated under the current
+   config/accelerator — its value is never trusted) seeds the incumbent
+   before any family is scored, turning most sweep searches into
+   bound-confirmation passes.  The winner is provably identical to the
+   exhaustive path: bounds are admissible, skipping is strict
+   (``bound > incumbent``), and selection minimizes ``(value, global
+   enumeration index)`` — the exhaustive first-in-order tie-break.
 
 1. **Parallel fan-out.**  Candidate dataflows are evaluated in chunks
    over a ``ProcessPoolExecutor`` (the ``jobs`` knob).  ``jobs=1``
@@ -67,27 +84,38 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
 from repro.core.cache import PersistentCache, get_default_cache, open_cache
-from repro.core.dataflow import Dataflow
+from repro.core.candidates import (
+    CandidatePlan,
+    Incumbent,
+    family_representative,
+    locate_candidate,
+    plan_candidates,
+)
+from repro.core.dataflow import Dataflow, Stationarity
 from repro.core.dse import (
     DesignPoint,
     DSEResult,
     Objective,
     SearchSpace,
     enumerate_dataflows,
+    expand_family,
 )
 from repro.core.footprint import fused_la_footprint
 from repro.core.perf import (
     PerfOptions,
     ScopeCost,
     cost_scope,
+    la_pair_compute_cycles,
     partition_scratchpad,
     sg_stream_words,
 )
+from repro.core.tiling import ceil_div, choose_l2_tile, reuse_passes
 from repro.energy.model import ActivityCounts, EnergyReport, energy_report
 from repro.energy.tables import EnergyTable
 from repro.obs.metrics import active as _metrics_active
 from repro.obs.trace import span as _span
 from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
+from repro.ops.intensity import roofline_cycles
 from repro.ops.operator import GemmOperator, OperatorKind
 
 __all__ = [
@@ -104,6 +132,8 @@ __all__ = [
     "set_default_engine",
     "default_jobs",
     "default_batch",
+    "default_candidates",
+    "default_warm_start",
     "reset_search_totals",
     "search_totals",
     "scoped_search_totals",
@@ -113,6 +143,12 @@ __all__ = [
 # model share their closed forms, and this keeps float rounding from
 # ever nudging a bound above the true cost it underestimates.
 _BOUND_SLACK = 1.0 - 1e-9
+
+# Below this many live candidates the representative round of the
+# branch-and-bound cannot recoup the fixed overhead of an extra
+# vectorized batch call (~60 candidates' worth of marginal scoring):
+# expand and score the live families in one call instead.
+_MERGE_BATCH_LIMIT = 96
 
 
 @dataclass(frozen=True)
@@ -143,6 +179,24 @@ class EngineOptions:
         winner gets a full scalar ``ScopeCost`` breakdown.  ``False``
         (the ``--no-batch`` escape hatch) restores the per-candidate
         scalar loop with bound-based pruning.
+    candidates:
+        Use analytic candidate generation with family-level
+        branch-and-bound (:mod:`repro.core.candidates`) as the default
+        front end.  Requires ``batch`` and ``prune`` (the generated
+        path scores families through the batch backend and its family
+        skipping *is* bound pruning); it is bypassed when the caller
+        retains points or optimizes ``FOOTPRINT``.  ``False`` (the
+        ``--no-candidates`` escape hatch) restores full enumeration
+        followed by batch scoring — same winner, more work.
+    warm_start:
+        Policy knob for sweep drivers (``--warm-start`` plumbing): when
+        true, sweep loops such as
+        :func:`repro.analysis.utilization.buffer_sweep` thread each
+        search's winner into the next point's search as a
+        :class:`~repro.core.candidates.Incumbent`.  The engine itself
+        only consumes the explicit ``warm_start`` argument of
+        :func:`run_search`; this flag decides whether drivers build
+        one.
     """
 
     jobs: int = 1
@@ -150,6 +204,8 @@ class EngineOptions:
     cache_size: int = 8192
     chunk_size: Optional[int] = None
     batch: bool = True
+    candidates: bool = True
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -172,6 +228,16 @@ class SearchStats:
     by the vectorized backend; it sits outside the invariant — a
     batch-scored loser is accounted as ``pruned`` (it provably cannot
     win) and only the winner's scalar breakdown counts as ``evaluated``.
+
+    The candidate-generation path adds three counters.
+    ``candidates_generated`` is how many members the generator actually
+    materialized; ``candidates_skipped`` is how many it provably never
+    had to construct or score (members of bound-gated families — a
+    subset of ``pruned``, which also books batch-scored losers);
+    ``families_pruned`` counts whole families skipped by
+    branch-and-bound.  On the generated path ``candidates_generated +
+    candidates_skipped == enumerated`` — the full space size — so the
+    invariant above holds unchanged.
     """
 
     enumerated: int
@@ -182,6 +248,9 @@ class SearchStats:
     jobs: int
     disk_hits: int = 0
     batch_evaluations: int = 0
+    candidates_generated: int = 0
+    candidates_skipped: int = 0
+    families_pruned: int = 0
 
     def __post_init__(self) -> None:
         if self.enumerated != self.cache_hits + self.pruned + self.evaluated:
@@ -192,6 +261,11 @@ class SearchStats:
             raise ValueError("disk_hits must lie within cache_hits")
         if self.batch_evaluations < 0:
             raise ValueError("batch_evaluations must be non-negative")
+        if min(self.candidates_generated, self.candidates_skipped,
+               self.families_pruned) < 0:
+            raise ValueError("candidate counters must be non-negative")
+        if self.candidates_skipped > self.pruned:
+            raise ValueError("candidates_skipped must lie within pruned")
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +321,44 @@ def default_batch(batch: Optional[bool]) -> Iterator[None]:
         set_default_engine(previous)
 
 
+@contextmanager
+def default_candidates(candidates: Optional[bool]) -> Iterator[None]:
+    """Temporarily toggle candidate generation (``--no-candidates``).
+
+    ``None`` leaves the default untouched, so callers can pass an
+    optional CLI flag straight through.
+    """
+    if candidates is None:
+        yield
+        return
+    previous = set_default_engine(
+        replace(_default_engine, candidates=candidates)
+    )
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
+@contextmanager
+def default_warm_start(warm_start: Optional[bool]) -> Iterator[None]:
+    """Temporarily toggle sweep warm-starting (``--warm-start``).
+
+    ``None`` leaves the default untouched, so callers can pass an
+    optional CLI flag straight through.
+    """
+    if warm_start is None:
+        yield
+        return
+    previous = set_default_engine(
+        replace(_default_engine, warm_start=warm_start)
+    )
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
+
+
 # ----------------------------------------------------------------------
 # per-process search accounting (summed over every run_search call)
 # ----------------------------------------------------------------------
@@ -258,6 +370,9 @@ _TOTALS_ZERO = {
     "cache_hits": 0,
     "disk_hits": 0,
     "batch_evaluations": 0,
+    "candidates_generated": 0,
+    "candidates_skipped": 0,
+    "families_pruned": 0,
     "wall_time_s": 0.0,
 }
 _totals = dict(_TOTALS_ZERO)
@@ -310,6 +425,9 @@ def _accumulate(stats: SearchStats) -> None:
     _totals["cache_hits"] += stats.cache_hits
     _totals["disk_hits"] += stats.disk_hits
     _totals["batch_evaluations"] += stats.batch_evaluations
+    _totals["candidates_generated"] += stats.candidates_generated
+    _totals["candidates_skipped"] += stats.candidates_skipped
+    _totals["families_pruned"] += stats.families_pruned
     _totals["wall_time_s"] += stats.wall_time_s
     registry = _metrics_active()
     if registry is not None:
@@ -323,6 +441,15 @@ def _accumulate(stats: SearchStats) -> None:
         registry.counter("engine.disk_hits").inc(stats.disk_hits)
         registry.counter("engine.batch_evaluations").inc(
             stats.batch_evaluations
+        )
+        registry.counter("engine.candidates.generated").inc(
+            stats.candidates_generated
+        )
+        registry.counter("engine.candidates.skipped").inc(
+            stats.candidates_skipped
+        )
+        registry.counter("engine.candidates.families_pruned").inc(
+            stats.families_pruned
         )
         registry.gauge("engine.lru_entries").set(len(_CACHE))
 
@@ -488,7 +615,7 @@ def _operator_bound(op: GemmOperator, accel: Accelerator) -> _BoundTerms:
     )
     cold = op.lhs.num_elements + op.rhs.num_elements + out_elements
     sg_words = sg_stream_words(op.macs, accel) + out_elements
-    cycles = max(
+    cycles = roofline_cycles(
         ideal + softmax,
         cold * e / accel.offchip_bytes_per_cycle,
         sg_words * e / accel.onchip_bytes_per_cycle,
@@ -541,56 +668,173 @@ def _la_pair_bound(
     accel: Accelerator,
     dataflow: Dataflow,
     options: PerfOptions,
+    fused_in_family: Optional[bool] = None,
 ) -> _BoundTerms:
     """Bound for the L-A pair under one candidate dataflow.
 
-    Three floors, the max of which the pair can never beat (fused or
-    not): ideal MACs plus the softmax that sits on the critical path
-    either way; the compulsory Q/K/V/output traffic plus the
-    intermediate's off-chip round trips (four passes over the
-    off-chip fraction — raw write, softmax read/write, re-read); and
-    the operand stream into the array.  The off-chip fraction of the
-    intermediate reuses the model's own staging-budget arithmetic
-    (priority allocation gives the intermediate first claim), so that
-    term is exact, cheaply — no L2 tile search involved.
+    A roofline over floors the pair can never beat, sharing the model's
+    own closed forms — the L2 tile choice, the staging-budget split,
+    the reuse-pass counts and the warm-up arithmetic are the very
+    functions :func:`~repro.core.perf.cost_la_pair` calls, and none of
+    them depend on the staging policy, so one evaluation of this bound
+    is admissible for a whole *family* of staging corners at once and
+    is *exact* (bit-equal to the model) whenever the binding constraint
+    is one this floor captures:
+
+    * **Serialized critical path.**  The *exact* compute-phase cycles
+      of both GEMM stages (:func:`~repro.core.perf.la_pair_compute_cycles`
+      — the very call :func:`~repro.core.perf.cost_la_pair` makes,
+      mapping efficiency and fill/drain included), plus the parts of
+      the softmax story that provably serialize with them: fused, the
+      softmax is on the interleaved phase's busy time and the spilled
+      intermediate's softmax round trip is a separate phase, so both
+      add; unfused, the softmax phase takes at least
+      ``max(softmax, spill round trip)``.
+    * **Compulsory traffic.**  Each tensor pays
+      ``min(l2_passes, fit_max + (1 - fit_max) * spill_passes)`` times
+      its cold volume: an unstaged tensor re-streams once per L2 reuse
+      pass (for K/V, once per *row pass* on top), while a staged tensor
+      blends one cold pass for the fitting fraction with the spill
+      accounting for the rest.  ``fit_max`` grants the single tensor
+      the whole staging budget — priority allocation can only grant
+      less, and the blend is decreasing in fit, so the min covers every
+      staging policy.  The off-chip intermediate fraction pays its four
+      passes (raw write, softmax read/write, re-read) using the exact
+      budget split.
+    * **Operand streaming** into the array on the SG port (plus the
+      intermediate's SG round trip when no member fuses).
+    * **Prefetch warm-up.**  The model's own
+      :func:`~repro.core.perf._warmup_cycles` arithmetic applied to the
+      traffic floor, with the fused overlap credit whenever any member
+      may fuse.
+
+    ``fused_in_family`` widens the bound to a family that mixes fused
+    and unfused members (``None`` means "exactly this dataflow"): a
+    fused member takes the warm-up credit and skips the intermediate's
+    SG traffic, so those relaxations apply as soon as fusion is
+    possible, while the stronger fused *serial* chain is only used when
+    the representative itself fuses (then every member does).
     """
     b, h = cfg.batch, cfg.heads
     nq, nkv, dk = cfg.seq_q, cfg.seq_kv, cfg.d_head
     e = accel.bytes_per_element
-    macs = 2 * b * h * nq * nkv * dk
+    macs_l = b * h * nq * nkv * dk
+    macs = 2 * macs_l
     int_cold = b * h * nq * nkv
     q_cold = b * h * nq * dk
     k_cold = b * h * nkv * dk
     v_cold = b * h * nkv * dk
     out_cold = b * h * nq * dk
 
-    ideal = macs / accel.peak_macs_per_cycle
     softmax = accel.sfu.softmax_cycles(int_cold)
+    compute_l, compute_a = la_pair_compute_cycles(cfg, dataflow, accel,
+                                                  options)
 
     s = dataflow.staging
-    if dataflow.has_l3 and s.intermediate:
-        footprint = fused_la_footprint(cfg, dataflow)
-        budget = partition_scratchpad(
-            footprint.total_bytes(e), True, accel, options
-        )
+    staged = dataflow.has_l3
+    may_fuse = dataflow.fused if fused_in_family is None else fused_in_family
+    b_t, h_t, r = dataflow.cross_tile(b, h, nq)
+    row_passes = ceil_div(nq, r)
+    n_pass = ceil_div(b, b_t) * ceil_div(h, h_t) * row_passes
+
+    # The model's own (staging-policy-independent) budget split, tile
+    # choice and reuse analysis.
+    footprint = fused_la_footprint(cfg, dataflow)
+    budget = partition_scratchpad(
+        footprint.total_bytes(e), staged and s.any_enabled, accel, options
+    )
+    staging_bytes = float(budget.staging_budget_bytes)
+    tile_l = choose_l2_tile(
+        r, dk, nkv, budget.l2_budget_elements,
+        accel.pe_array.rows, accel.pe_array.cols,
+    )
+    tile_a = choose_l2_tile(
+        r, nkv, dk, budget.l2_budget_elements,
+        accel.pe_array.rows, accel.pe_array.cols,
+    )
+    passes_l = reuse_passes(r, dk, nkv, tile_l)
+    passes_a = reuse_passes(r, nkv, dk, tile_a)
+
+    if staged and s.intermediate:
         int_bytes = footprint.intermediate_elements * e
         fit_int = (
             1.0 if int_bytes <= 0
-            else min(1.0, budget.staging_budget_bytes / int_bytes)
+            else min(1.0, staging_bytes / int_bytes)
         )
         int_offchip = 1.0 - fit_int
     else:
         int_offchip = 1.0
 
-    dram_elements = (
-        q_cold + k_cold + v_cold + out_cold + 4.0 * int_cold * int_offchip
+    def _tensor_floor(tile_bytes: float, l2_passes: float) -> float:
+        # min over staging choices of the model's pass multiplier:
+        # unstaged pays l2_passes; staged pays blend(fit) >=
+        # blend(fit_max) (the blend is decreasing in fit, and priority
+        # allocation can never grant more than the whole budget).
+        fit_max = (
+            1.0 if tile_bytes <= 0
+            else min(1.0, staging_bytes / tile_bytes)
+        )
+        if options.spill_extra_pass_only:
+            blend = fit_max * 1.0 + (1.0 - fit_max) * 2.0
+        else:
+            blend = fit_max * 1.0 + (1.0 - fit_max) * (l2_passes + 1.0)
+        return min(float(l2_passes), blend)
+
+    out_passes = (
+        1 if dataflow.stationarity is Stationarity.OUTPUT
+        else passes_a.out_passes
     )
-    sg_words = sg_stream_words(macs, accel) + out_cold
-    cycles = max(
-        ideal + softmax,
-        dram_elements * e / accel.offchip_bytes_per_cycle,
+    q_mult = _tensor_floor(footprint.lhs_elements * e, passes_l.lhs_passes)
+    k_mult = _tensor_floor(
+        footprint.rhs_elements * e, row_passes * passes_l.rhs_passes
+    )
+    v_mult = _tensor_floor(
+        footprint.rhs2_elements * e, row_passes * passes_a.rhs_passes
+    )
+    out_mult = _tensor_floor(footprint.out_elements * e, float(out_passes))
+
+    int_spill = int_cold * int_offchip
+    dram_l_inputs = q_cold * q_mult + k_cold * k_mult
+    dram_a_inputs = v_cold * v_mult + out_cold * out_mult
+    dram_elements = dram_l_inputs + dram_a_inputs + 4.0 * int_spill
+    spill_cycles = (
+        (2.0 * int_spill) * e / accel.offchip_bytes_per_cycle
+    )
+    if dataflow.fused:
+        # Every member fuses (the representative is the weakest corner
+        # in this respect): interleaved busy time plus the serialized
+        # spill round trip.
+        serial = compute_l + compute_a + softmax + spill_cycles
+    else:
+        # Mirrors the model's three-phase sum when each phase is
+        # compute-/softmax-bound; weaker than (hence admissible for)
+        # fused members of a mixed family.
+        serial = compute_l + max(softmax, spill_cycles) + compute_a
+
+    sg_base_l = sg_stream_words(macs_l, accel)
+    sg_base_a = sg_stream_words(macs_l, accel) + out_cold
+    if may_fuse:
+        sg_words = sg_base_l + sg_base_a
+    else:
+        sg_words = (sg_base_l + int_cold) + (sg_base_a + int_cold)
+
+    dram_bytes = dram_elements * e
+    cycles = roofline_cycles(
+        serial,
+        dram_bytes / accel.offchip_bytes_per_cycle,
         sg_words * e / accel.onchip_bytes_per_cycle,
     )
+    # Exposed prefetch warm-up on the traffic floor (monotone in the
+    # DRAM bytes, so a floor in, a floor out); any possibly-fused
+    # member gets the overlap credit.
+    warmup_cap = float(
+        (tile_l.footprint_elements() + tile_a.footprint_elements()) * e
+    )
+    warmup_bytes = min(dram_bytes / max(float(n_pass), 1.0), warmup_cap)
+    warmup = warmup_bytes / accel.offchip_bytes_per_cycle
+    if may_fuse:
+        warmup = warmup * options.fused_warmup_credit
+    cycles = cycles + warmup
     counts = ActivityCounts(
         macs=float(macs),
         sl_words=2.0 * macs + out_cold,
@@ -607,11 +851,14 @@ def _candidate_bound(
     accel: Accelerator,
     dataflow: Dataflow,
     options: PerfOptions,
+    fused_in_family: Optional[bool] = None,
 ) -> Tuple[float, ActivityCounts]:
     static, has_la, replication = _scope_static_bound(cfg, scope, accel)
     total = static
     if has_la:
-        total = total + _la_pair_bound(cfg, accel, dataflow, options)
+        total = total + _la_pair_bound(
+            cfg, accel, dataflow, options, fused_in_family
+        )
     return replication * total.cycles, total.counts.scaled(replication)
 
 
@@ -640,15 +887,22 @@ def objective_lower_bound(
     dataflow: Dataflow,
     options: PerfOptions = PerfOptions(),
     energy_table: Optional[EnergyTable] = None,
+    fused_in_family: Optional[bool] = None,
 ) -> Optional[float]:
     """Lower bound on the objective value, or ``None`` if unbounded.
 
     ``FOOTPRINT`` returns ``None`` — footprints need no cost bound and
     the engine disables pruning for that objective.
+
+    ``fused_in_family`` (see :func:`_la_pair_bound`) widens the bound
+    to cover a whole dataflow family that may mix fused and unfused
+    members; ``None`` bounds exactly the given dataflow.
     """
     if objective is Objective.FOOTPRINT:
         return None
-    cycles, counts = _candidate_bound(cfg, scope, accel, dataflow, options)
+    cycles, counts = _candidate_bound(
+        cfg, scope, accel, dataflow, options, fused_in_family
+    )
     if objective is Objective.RUNTIME:
         return cycles * _BOUND_SLACK
     energy = energy_report(counts, energy_table).total_j
@@ -919,6 +1173,382 @@ def _batch_search(
     return _result(best_index, cost, stats)
 
 
+def _locate_warm_start(
+    warm: Optional[Incumbent],
+    cfg: AttentionConfig,
+    scope: Scope,
+    objective: Objective,
+    space: SearchSpace,
+    options: PerfOptions,
+) -> Optional[int]:
+    """Global enumeration index of a valid warm-start seed, or ``None``.
+
+    An incumbent is *rejected* (``engine.warm_start.rejected`` counter)
+    when it was found under a different objective, scope or model
+    options, or when its dataflow is not a member of the current space
+    (e.g. a row count outside this config's ladder).  A differing
+    accelerator or config is *not* a rejection: the incumbent carries
+    no trusted value — the engine re-evaluates the seed dataflow under
+    the current config/accelerator, which is exactly what makes
+    neighbor-seeding across a buffer or sequence sweep safe.
+    """
+    if warm is None:
+        return None
+    if (
+        warm.objective is not objective
+        or warm.scope is not scope
+        or warm.options != options
+    ):
+        _metric_inc("engine.warm_start.rejected")
+        return None
+    index = locate_candidate(cfg, space, warm.dataflow)
+    if index is None:
+        _metric_inc("engine.warm_start.rejected")
+        return None
+    return index
+
+
+def _candidate_search(
+    cfg: AttentionConfig,
+    accel: Accelerator,
+    scope: Scope,
+    objective: Objective,
+    space: SearchSpace,
+    options: PerfOptions,
+    energy_table: Optional[EnergyTable],
+    engine: EngineOptions,
+    accel_fp: tuple,
+    pcache: Optional[PersistentCache],
+    use_cache: bool,
+    start: float,
+    warm: Optional[Incumbent],
+) -> Optional[DSEResult]:
+    """Generated front end: plan families, branch-and-bound, batch-score.
+
+    Never expands the whole space.  :func:`repro.core.candidates.plan_candidates`
+    derives one admissible bound per family from its cheapest
+    representative member.  Families are gated twice — first against
+    the warm-start incumbent (when one is supplied), then against the
+    incumbent tightened by batch-scoring the live families'
+    *representatives* — and only the final survivors are expanded and
+    scored.  At most two :func:`~repro.core.batch.evaluate_grid`
+    invocations run per search (representatives, then surviving
+    members), so the fixed batch-call overhead cannot erase the
+    pruning win.
+
+    Selection minimizes ``(value, global enumeration index)`` over
+    every scored candidate.  A skipped candidate's true value strictly
+    exceeds the final optimum (member value >= member bound >= family
+    bound > incumbent >= optimum), so it can neither win nor displace a
+    tie — the result is identical to the exhaustive path, bytes
+    included.
+
+    Returns ``None`` on :class:`~repro.core.batch.BatchFallback`,
+    sending the caller down the enumerate-then-batch (then scalar)
+    path.
+    """
+    try:
+        from repro.core.batch import BatchFallback, evaluate_grid
+    except ImportError:  # pragma: no cover - numpy is a declared dependency
+        return None
+
+    plan = plan_candidates(objective, cfg, scope, accel, space,
+                           options=options, energy_table=energy_table)
+    n = plan.total
+    if n == 0:
+        raise ValueError("search space is empty")
+    need_energy = objective in (Objective.ENERGY, Objective.EDP)
+
+    def _score(cost: ScopeCost) -> float:
+        energy = (
+            energy_report(cost.counts, energy_table) if need_energy else None
+        )
+        return objective.score(cost, energy)
+
+    def _family_at(index: int) -> int:
+        for fi in range(len(plan.families) - 1, -1, -1):
+            if plan.offsets[fi] <= index:
+                return fi
+        raise IndexError(index)  # pragma: no cover - index always planned
+
+    def _dataflow_at(index: int) -> Dataflow:
+        fi = _family_at(index)
+        members = list(expand_family(cfg, plan.families[fi], space))
+        return members[index - plan.offsets[fi]]
+
+    def _resolve_cost(dataflow: Dataflow) -> Tuple[ScopeCost, str]:
+        key = _evaluation_key(cfg, accel_fp, dataflow, options, scope)
+        cost = _CACHE.get(key) if use_cache else None
+        if cost is not None:
+            return cost, "lru"
+        if pcache is not None:
+            cost = pcache.get(key)
+            if cost is not None:
+                if use_cache:
+                    _CACHE.put(key, cost)
+                return cost, "disk"
+        cost = cost_scope(cfg, scope, accel, dataflow, options=options)
+        if use_cache:
+            _CACHE.put(key, cost)
+        if pcache is not None:
+            pcache.put(key, cost)
+        return cost, "model"
+
+    def _result(index: int, cost: ScopeCost,
+                stats: SearchStats) -> DSEResult:
+        _accumulate(stats)
+        energy = energy_report(cost.counts, energy_table)
+        best = DesignPoint(dataflow=_dataflow_at(index), cost=cost,
+                           energy=energy)
+        return DSEResult(best=best, points=(), objective=objective,
+                         stats=stats)
+
+    # Repeat-search memo: the winner's global index, keyed on the space
+    # (not the expanded grid — expansion is exactly what this path
+    # avoids).  Valid because enumeration order is deterministic and
+    # the dse/candidates sources are part of the disk-cache fingerprint.
+    memo_key = (
+        "cand-memo", cfg, accel_fp, options, scope, objective,
+        energy_table, space,
+    )
+    winner = _CACHE.get(memo_key) if use_cache else None
+    memo_from_disk = False
+    if winner is None and pcache is not None:
+        winner = pcache.get(memo_key)
+        if winner is not None:
+            memo_from_disk = True
+            if use_cache:
+                _CACHE.put(memo_key, winner)
+    if winner is not None and 0 <= int(winner) < n:
+        index = int(winner)
+        cost, source = _resolve_cost(_dataflow_at(index))
+        evaluated = 1 if source == "model" else 0
+        stats = SearchStats(
+            enumerated=n,
+            evaluated=evaluated,
+            pruned=0,
+            cache_hits=n - evaluated,
+            wall_time_s=time.perf_counter() - start,
+            jobs=engine.jobs,
+            disk_hits=(
+                (n - 1 if memo_from_disk else 0)
+                + (1 if source == "disk" else 0)
+            ),
+            batch_evaluations=0,
+        )
+        return _result(index, cost, stats)
+
+    best_value: Optional[float] = None
+    best_index: Optional[int] = None
+
+    def _consider(value: float, index: int) -> None:
+        nonlocal best_value, best_index
+        if (
+            best_value is None
+            or value < best_value
+            or (value == best_value and index < best_index)
+        ):
+            best_value = value
+            best_index = index
+
+    # Warm seed: re-evaluate the neighboring winner under *this*
+    # config/accelerator (its carried value, if any, is never trusted)
+    # and let it gate families before anything is expanded.  Not booked
+    # in the stats: with caching on it resurfaces as a prescan hit of
+    # its own family, which can never be family-pruned (the family's
+    # bound is <= the seed's value).
+    warm_index = _locate_warm_start(warm, cfg, scope, objective, space,
+                                    options)
+    if warm_index is not None:
+        cost, _ = _resolve_cost(_dataflow_at(warm_index))
+        _consider(_score(cost), warm_index)
+
+    generated = 0
+    family_skipped = 0
+    families_pruned = 0
+    cache_hits = 0
+    disk_hits = 0
+    batch_evaluations = 0
+    hit_costs: dict = {}
+
+    def _prescan(
+        members: List[Tuple[int, Dataflow]]
+    ) -> List[Tuple[int, Dataflow]]:
+        """Resolve members against the caches; return the misses."""
+        nonlocal cache_hits, disk_hits
+        misses: List[Tuple[int, Dataflow]] = []
+        for index, df in members:
+            key = _evaluation_key(cfg, accel_fp, df, options, scope)
+            cost = _CACHE.get(key) if use_cache else None
+            if cost is None and pcache is not None:
+                cost = pcache.get(key)
+                if cost is not None:
+                    disk_hits += 1
+                    if use_cache:
+                        _CACHE.put(key, cost)
+            if cost is None:
+                misses.append((index, df))
+                continue
+            cache_hits += 1
+            hit_costs[index] = cost
+            _consider(_score(cost), index)
+        return misses
+
+    def _batch_score(members: List[Tuple[int, Dataflow]]) -> bool:
+        """Score members in one vectorized call; False on fallback."""
+        nonlocal batch_evaluations
+        if not members:
+            return True
+        try:
+            grid = evaluate_grid(
+                cfg, scope, accel, [df for _, df in members],
+                options=options,
+            )
+        except BatchFallback:
+            return False
+        scores = grid.objective_scores(objective, energy_table)
+        batch_evaluations += len(members)
+        for (index, _), value in zip(members, scores):
+            _consider(float(value), index)
+        return True
+
+    # Branch and bound in two rounds of gating and two vectorized
+    # calls.  Round one gates on the warm incumbent (when present);
+    # the *representatives* of the live families — each one is member 0
+    # of its family's expansion, see ``family_representative`` — are
+    # then scored in a single batch call.  Representatives are the
+    # all-staged (and, where allowed, unfused) corners, which in
+    # practice include the optimum or something very near it, so the
+    # incumbent after this round is tight.  Round two re-gates every
+    # remaining family against it — those families are dropped without
+    # ever being expanded — and the survivors' remaining members are
+    # scored in one further batch call.
+    def _gated(fi: int) -> bool:
+        # Strictly-beaten bound, or an exact tie the family cannot win:
+        # every member value >= bound >= the incumbent's value, and
+        # every member index >= the family offset > the incumbent's
+        # index, so no member survives the (value, index) tie-break.
+        # ``plan.bounds`` carry the _BOUND_SLACK factor, so comparing
+        # against ``best_value * _BOUND_SLACK`` tests the unslacked
+        # ``raw_bound >= best_value`` (rounding is monotone).
+        if best_value is None:
+            return False
+        bound = plan.bounds[fi]
+        if bound > best_value:
+            return True
+        return (
+            best_index is not None
+            and bound >= best_value * _BOUND_SLACK
+            and plan.offsets[fi] > best_index
+        )
+
+    with _span("candidate-score", families=len(plan.families),
+               candidates=n) as sp:
+        alive: List[int] = []
+        for fi in plan.order:
+            if _gated(fi):
+                families_pruned += 1
+                family_skipped += plan.sizes[fi]
+                continue
+            alive.append(fi)
+        # The warm seed can never gate its own family (that family's
+        # bound is <= the seed's re-evaluated value), so `alive` is
+        # never empty and the incumbent below is always established.
+        #
+        # When a warm seed already gated the space down to a handful of
+        # members — typical for warm-started sweeps in the saturated
+        # regime — the representative round cannot pay for its own
+        # fixed batch-call overhead.  Score the survivors' full
+        # expansions in a single call instead; scoring a member that a
+        # rep round would have skipped is exact, so the selection is
+        # unchanged.  Cold searches always take the two-round path:
+        # with no incumbent yet, the representative round is the only
+        # thing standing between the grid and full expansion.
+        total_live = sum(plan.sizes[fi] for fi in alive)
+        members: List[Tuple[int, Dataflow]] = []
+        if best_value is not None and total_live <= _MERGE_BATCH_LIMIT:
+            alive.sort()
+            for fi in alive:
+                offset = plan.offsets[fi]
+                for j, df in enumerate(
+                    expand_family(cfg, plan.families[fi], space)
+                ):
+                    members.append((offset + j, df))
+            generated += len(members)
+            if not _batch_score(_prescan(members)):
+                return None
+        else:
+            reps = [
+                (plan.offsets[fi],
+                 family_representative(plan.families[fi], space))
+                for fi in alive
+            ]
+            generated += len(reps)
+            if not _batch_score(_prescan(reps)):
+                return None
+            survivors: List[int] = []
+            for fi in alive:
+                if _gated(fi):
+                    families_pruned += 1
+                    family_skipped += plan.sizes[fi] - 1  # rep was scored
+                    continue
+                survivors.append(fi)
+            # Expand in enumeration order for a deterministic grid
+            # layout (selection is order-independent anyway).
+            survivors.sort()
+            for fi in survivors:
+                offset = plan.offsets[fi]
+                for j, df in enumerate(
+                    expand_family(cfg, plan.families[fi], space)
+                ):
+                    if j == 0:
+                        continue  # the representative, scored above
+                    members.append((offset + j, df))
+            generated += len(members)
+            if not _batch_score(_prescan(members)):
+                return None
+        sp.set(families_pruned=families_pruned,
+               candidates_skipped=family_skipped)
+
+    assert best_index is not None  # first family always scores someone
+    if best_index in hit_costs:
+        cost = hit_costs[best_index]
+        evaluated = 0
+        batch_losers = batch_evaluations
+    else:
+        cost, source = _resolve_cost(_dataflow_at(best_index))
+        batch_losers = batch_evaluations - 1
+        if source == "model":
+            evaluated = 1
+        else:
+            # Raced onto a cache after the prescan missed it; book it
+            # as the cache hit it became.
+            evaluated = 0
+            cache_hits += 1
+            if source == "disk":
+                disk_hits += 1
+
+    if use_cache:
+        _CACHE.put(memo_key, best_index)
+    if pcache is not None:
+        pcache.put(memo_key, best_index)
+
+    stats = SearchStats(
+        enumerated=n,
+        evaluated=evaluated,
+        pruned=family_skipped + batch_losers,
+        cache_hits=cache_hits,
+        wall_time_s=time.perf_counter() - start,
+        jobs=engine.jobs,
+        disk_hits=disk_hits,
+        batch_evaluations=batch_evaluations,
+        candidates_generated=generated,
+        candidates_skipped=family_skipped,
+        families_pruned=families_pruned,
+    )
+    return _result(best_index, cost, stats)
+
+
 def run_search(
     cfg: AttentionConfig,
     accel: Accelerator,
@@ -929,6 +1559,7 @@ def run_search(
     energy_table: Optional[EnergyTable] = None,
     engine: Optional[EngineOptions] = None,
     retain_points: bool = True,
+    warm_start: Optional[Incumbent] = None,
 ) -> DSEResult:
     """Evaluate the search space and return the optimum plus stats.
 
@@ -936,19 +1567,29 @@ def run_search(
     point is evaluated, energy included, and returned — pruning is
     disabled because the caller asked for the whole space.  With
     ``retain_points=False`` only the optimum matters: candidates are
-    pruned against the incumbent, energy is computed lazily, and
-    ``DSEResult.points`` comes back empty.
+    generated family-by-family with branch-and-bound (or, with
+    ``candidates=False``, enumerated then pruned against the
+    incumbent), energy is computed lazily, and ``DSEResult.points``
+    comes back empty.
 
-    Regardless of ``jobs``/``prune``/``cache_size``, the returned best
-    design point (dataflow and objective value) is identical to the
-    naive serial full evaluation: bounds are admissible, pruning is
-    strict, and ties resolve to the first candidate in enumeration
-    order.
+    ``warm_start`` optionally carries a neighboring search's winner
+    (:class:`repro.core.candidates.Incumbent`); the candidate path
+    re-evaluates that dataflow under the *current* config and
+    accelerator and uses the resulting value as the initial incumbent.
+    The incumbent's own recorded value is never reused — a stale seed
+    can therefore never change the result, only the amount of work
+    (see the warm-start contract in ``docs/search_engine.md``).
+
+    Regardless of ``jobs``/``prune``/``cache_size``/``candidates``/
+    ``warm_start``, the returned best design point (dataflow and
+    objective value) is identical to the naive serial full evaluation:
+    bounds are admissible, pruning is strict, and ties resolve to the
+    first candidate in enumeration order.
     """
     with _span("search", scope=scope.name, objective=objective.name):
         return _run_search_impl(
             cfg, accel, scope, objective, space, options, energy_table,
-            engine, retain_points,
+            engine, retain_points, warm_start,
         )
 
 
@@ -962,10 +1603,39 @@ def _run_search_impl(
     energy_table: Optional[EnergyTable],
     engine: Optional[EngineOptions],
     retain_points: bool,
+    warm_start: Optional[Incumbent] = None,
 ) -> DSEResult:
     start = time.perf_counter()
     if engine is None:
         engine = get_default_engine()
+
+    use_cache = engine.cache_size > 0
+    if use_cache and _CACHE.maxsize != engine.cache_size:
+        _CACHE.resize(engine.cache_size)
+    accel_fp = accelerator_fingerprint(accel)
+    pcache = get_default_cache()
+
+    # Generated front end: plans families instead of enumerating the
+    # grid.  Requires the batch backend (family scoring) and pruning
+    # semantics (family skipping is pruning), and is pointless when the
+    # caller wants every point or optimizes FOOTPRINT (no cost bound).
+    if (
+        engine.candidates
+        and engine.batch
+        and engine.prune
+        and not retain_points
+        and objective is not Objective.FOOTPRINT
+    ):
+        with _span("candidate-search") as sp:
+            result = _candidate_search(
+                cfg, accel, scope, objective, space, options, energy_table,
+                engine, accel_fp, pcache, use_cache, start, warm_start,
+            )
+            sp.set(fallback=result is None)
+        if result is not None:
+            return result
+        # BatchFallback: continue with full enumeration below.
+
     with _span("enumerate") as sp:
         dataflows = list(enumerate_dataflows(cfg, accel, space))
         sp.set(candidates=len(dataflows))
@@ -980,11 +1650,6 @@ def _run_search_impl(
         and not retain_points
         and objective is not Objective.FOOTPRINT
     )
-    use_cache = engine.cache_size > 0
-    if use_cache and _CACHE.maxsize != engine.cache_size:
-        _CACHE.resize(engine.cache_size)
-    accel_fp = accelerator_fingerprint(accel)
-    pcache = get_default_cache()
 
     if engine.batch and not retain_points:
         with _span("batch-score", candidates=len(dataflows)) as sp:

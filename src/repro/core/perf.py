@@ -81,6 +81,7 @@ __all__ = [
     "cost_fused_la",
     "cost_la_pair",
     "cost_scope",
+    "la_pair_compute_cycles",
     "partition_scratchpad",
     "sg_stream_words",
 ]
@@ -666,6 +667,37 @@ def cost_operator(
 # ----------------------------------------------------------------------
 # L-A pair cost (fused and unfused)
 # ----------------------------------------------------------------------
+def la_pair_compute_cycles(
+    cfg: AttentionConfig,
+    dataflow: Dataflow,
+    accel: Accelerator,
+    options: PerfOptions = PerfOptions(),
+) -> tuple:
+    """Exact ``(L, A)`` compute-phase cycles of :func:`cost_la_pair`.
+
+    The compute model is closed-form and independent of the L2 tiling,
+    so the pair's compute-phase cycles are decided entirely by the
+    dataflow's cross-loop tile.  Public because the DSE engine's
+    admissible lower bounds (:mod:`repro.core.engine`) use these exact
+    values as the compute floor — :func:`cost_la_pair` calls this same
+    function, so model and bound cannot drift apart.
+    """
+    b, h = cfg.batch, cfg.heads
+    nq, nkv, dk = cfg.seq_q, cfg.seq_kv, cfg.d_head
+    b_t, h_t, r = dataflow.cross_tile(b, h, nq)
+    n_pass = ceil_div(b, b_t) * ceil_div(h, h_t) * ceil_div(nq, r)
+    macs = b * h * nq * nkv * dk
+    compute_l = _compute_cycles(
+        macs, r, dk, nkv, dataflow.stationarity, accel, options,
+        tile_switches=float(n_pass), instances=b_t * h_t,
+    )
+    compute_a = _compute_cycles(
+        macs, r, nkv, dk, dataflow.stationarity, accel, options,
+        tile_switches=float(n_pass), instances=b_t * h_t,
+    )
+    return compute_l, compute_a
+
+
 def cost_la_pair(
     cfg: AttentionConfig,
     dataflow: Dataflow,
@@ -769,14 +801,8 @@ def cost_la_pair(
 
     macs_l = b * h * nq * nkv * dk
     macs_a = b * h * nq * nkv * dk
-    compute_l = _compute_cycles(
-        macs_l, r, dk, nkv, dataflow.stationarity, accel, options,
-        tile_switches=float(n_pass), instances=b_t * h_t,
-    )
-    compute_a = _compute_cycles(
-        macs_a, r, nkv, dk, dataflow.stationarity, accel, options,
-        tile_switches=float(n_pass), instances=b_t * h_t,
-    )
+    compute_l, compute_a = la_pair_compute_cycles(cfg, dataflow, accel,
+                                                  options)
     softmax_cycles = accel.sfu.softmax_cycles(int_cold)
 
     dram_l_inputs = q_cold * q_mult + k_cold * k_mult

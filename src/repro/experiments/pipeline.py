@@ -122,10 +122,13 @@ class PipelineResult:
 def _execute(name: str, jobs: Optional[int],
              cache_dir: Optional[str],
              batch: Optional[bool] = None,
-             trace: bool = False) -> ExperimentRun:
+             trace: bool = False,
+             candidates: Optional[bool] = None,
+             warm_start: Optional[bool] = None) -> ExperimentRun:
     """Run one experiment; importable at top level so pools can pickle it.
 
-    ``cache_dir``, ``batch`` and ``trace`` are threaded explicitly (not
+    ``cache_dir``, the engine knobs (``batch``, ``candidates``,
+    ``warm_start``) and ``trace`` are threaded explicitly (not
     inherited) so the pipeline behaves identically under fork and spawn
     start methods.  The search-totals accumulator is scoped: measuring
     this experiment's DSE work leaves the caller's totals untouched.
@@ -146,7 +149,8 @@ def _execute(name: str, jobs: Optional[int],
         cache_before = pcache.stats.copy() if pcache is not None else None
         start = time.perf_counter()
         try:
-            report = run_experiment(name, jobs=jobs)
+            report = run_experiment(name, jobs=jobs, candidates=candidates,
+                                    warm_start=warm_start)
             status = "ok"
         except Exception as exc:  # noqa: BLE001 - one job must not kill the run
             report = f"{type(exc).__name__}: {exc}"
@@ -184,6 +188,8 @@ def run_pipeline(
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
     batch: Optional[bool] = None,
+    candidates: Optional[bool] = None,
+    warm_start: Optional[bool] = None,
 ) -> PipelineResult:
     """Run ``names`` (default: the whole registry) as parallel jobs.
 
@@ -194,8 +200,11 @@ def run_pipeline(
     parallel unit.  ``cache_dir`` selects the shared persistent cache
     (``None`` defers to the ambient default / ``REPRO_CACHE_DIR``).
     ``batch`` toggles the vectorized scoring backend inside every
-    worker (``--no-batch`` passes ``False``; ``None`` keeps the
-    default); reports are byte-identical either way.
+    worker (``--no-batch`` passes ``False``), ``candidates`` the
+    generated branch-and-bound front end (``--no-candidates`` passes
+    ``False``) and ``warm_start`` neighbor-seeded sweeps
+    (``--warm-start`` passes ``True``); ``None`` keeps the respective
+    default.  Reports are byte-identical under every combination.
 
     A failing experiment is reported with ``status="error"`` and does
     not abort the others — including an experiment whose worker
@@ -233,7 +242,8 @@ def run_pipeline(
     done = 0
     if workers == 1:
         for name in selected:
-            run = _execute(name, jobs, cache_dir, batch, trace)
+            run = _execute(name, jobs, cache_dir, batch, trace,
+                           candidates, warm_start)
             outcomes[name] = run
             done += 1
             if progress is not None:
@@ -246,8 +256,8 @@ def run_pipeline(
         lost: List[str] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
-                pool.submit(_execute, name, jobs, cache_dir, batch, trace):
-                    name
+                pool.submit(_execute, name, jobs, cache_dir, batch, trace,
+                            candidates, warm_start): name
                 for name in selected
             }
             while pending:
@@ -267,7 +277,8 @@ def run_pipeline(
                     if progress is not None:
                         progress(run, done, len(selected))
         for name in sorted(lost, key=selected.index):
-            run = _execute_isolated(name, jobs, cache_dir, batch, trace)
+            run = _execute_isolated(name, jobs, cache_dir, batch, trace,
+                                    candidates, warm_start)
             _merge_obs(run)
             outcomes[name] = run
             done += 1
@@ -284,7 +295,9 @@ def run_pipeline(
 def _execute_isolated(name: str, jobs: Optional[int],
                       cache_dir: Optional[str],
                       batch: Optional[bool],
-                      trace: bool) -> ExperimentRun:
+                      trace: bool,
+                      candidates: Optional[bool] = None,
+                      warm_start: Optional[bool] = None) -> ExperimentRun:
     """Re-run one job lost to a broken pool, in a pool of its own.
 
     ``BrokenProcessPool`` cannot name its casualty, so every lost job
@@ -299,7 +312,8 @@ def _execute_isolated(name: str, jobs: Optional[int],
     try:
         with ProcessPoolExecutor(max_workers=1) as pool:
             return pool.submit(
-                _execute, name, jobs, cache_dir, batch, trace
+                _execute, name, jobs, cache_dir, batch, trace,
+                candidates, warm_start,
             ).result()
     except BrokenProcessPool:
         return ExperimentRun(

@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.core.engine import default_batch, default_jobs
+from repro.core.engine import (
+    default_batch,
+    default_candidates,
+    default_jobs,
+    default_warm_start,
+)
 from repro.obs.trace import span as _span
 from repro.experiments import (
     ext_batch,
@@ -156,13 +161,20 @@ def experiment_names() -> List[str]:
 
 
 def run_experiment(name: str, jobs: Optional[int] = None,
-                   batch: Optional[bool] = None) -> str:
+                   batch: Optional[bool] = None,
+                   candidates: Optional[bool] = None,
+                   warm_start: Optional[bool] = None) -> str:
     """Run one registered experiment and return its report.
 
     ``jobs`` sets the DSE engine's worker-process count for the
     duration of the run (the CLI's ``--jobs`` flag); ``batch`` toggles
-    the vectorized batch backend (``--no-batch`` passes ``False``).
-    ``None`` keeps the respective current default.
+    the vectorized batch backend (``--no-batch`` passes ``False``);
+    ``candidates`` toggles the generated branch-and-bound front end
+    (``--no-candidates`` passes ``False``); ``warm_start`` opts sweep
+    drivers into neighbor-seeded incremental re-search
+    (``--warm-start`` passes ``True``).  ``None`` keeps the respective
+    current default.  None of these change report bytes — only the
+    amount of work (see ``docs/search_engine.md``).
     """
     try:
         runner = EXPERIMENTS[name]
@@ -171,18 +183,20 @@ def run_experiment(name: str, jobs: Optional[int] = None,
             f"unknown experiment {name!r}; choose from {experiment_names()}"
         ) from None
     with default_jobs(jobs), default_batch(batch), \
+            default_candidates(candidates), default_warm_start(warm_start), \
             _span("experiment", name=name):
         return runner()
 
 
 def run_experiment_raw(name: str, jobs: Optional[int] = None,
-                       batch: Optional[bool] = None) -> object:
+                       batch: Optional[bool] = None,
+                       candidates: Optional[bool] = None,
+                       warm_start: Optional[bool] = None) -> object:
     """Run one experiment and return its typed rows (for JSON export).
 
-    ``jobs`` sets the DSE engine's worker-process count for the
-    duration of the run (the CLI's ``--jobs`` flag); ``batch`` toggles
-    the vectorized batch backend (``--no-batch`` passes ``False``).
-    ``None`` keeps the respective current default.
+    Accepts the same engine knobs as :func:`run_experiment` (``jobs``,
+    ``batch``, ``candidates``, ``warm_start``); ``None`` keeps the
+    respective current default.
     """
     try:
         runner = RAW_EXPERIMENTS[name]
@@ -192,5 +206,6 @@ def run_experiment_raw(name: str, jobs: Optional[int] = None,
             f"{sorted(RAW_EXPERIMENTS)}"
         ) from None
     with default_jobs(jobs), default_batch(batch), \
+            default_candidates(candidates), default_warm_start(warm_start), \
             _span("experiment", name=name, raw=True):
         return runner()

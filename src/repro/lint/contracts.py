@@ -124,14 +124,20 @@ SCALAR_FLAG_PARAMS: FrozenSet[str] = frozenset({
 #: ``repro.core.cache._FINGERPRINT_MODULES``: everything a cached
 #: (pickled) ScopeCost payload can depend on, including
 #: ``repro.energy.model`` because the payload embeds ActivityCounts
-#: instances defined there.  The energy *tables* stay out on purpose:
-#: callers re-derive joules from the cached counts.
+#: instances defined there, plus ``repro.core.dse`` and
+#: ``repro.core.candidates`` because the engine's repeat-search memos
+#: cache *enumeration indices* — an index is only meaningful while the
+#: family enumeration/expansion order that produced it is unchanged.
+#: The energy *tables* stay out on purpose: callers re-derive joules
+#: from the cached counts.
 REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
     "repro.core.perf",
     "repro.core.footprint",
     "repro.core.tiling",
     "repro.core.batch",
     "repro.core.dataflow",
+    "repro.core.dse",
+    "repro.core.candidates",
     "repro.energy.model",
     "repro.ops.attention",
     "repro.ops.operator",

@@ -23,7 +23,27 @@ __all__ = [
     "qkvo_staging_bytes",
     "la_staging_bytes",
     "batch_intensity_sweep",
+    "roofline_cycles",
 ]
+
+
+def roofline_cycles(compute_cycles: float, *traffic_floors: float) -> float:
+    """Admissible roofline floor over one overlapped execution phase.
+
+    A phase that overlaps compute with any number of memory streams can
+    finish no earlier than its compute roof and no earlier than any of
+    its bandwidth floors (each ``traffic / bytes-per-cycle``, already in
+    cycles) — the phase latency is the max of the competing streams.
+    This is the paper's roofline argument (section 2.2) turned into the
+    combining rule for the DSE engine's admissible lower bounds
+    (:mod:`repro.core.engine`): every term passed in must itself be a
+    floor, and the max of floors is a floor.
+    """
+    floor = compute_cycles
+    for traffic in traffic_floors:
+        if traffic > floor:
+            floor = traffic
+    return floor
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from repro.core.engine import (
     EngineOptions,
     clear_evaluation_cache,
     default_batch,
+    default_candidates,
     get_default_engine,
 )
 from repro.core.dataflow import Granularity
@@ -39,8 +40,13 @@ from repro.energy.model import energy_report
 from repro.ops.attention import AttentionConfig, Scope
 
 # Same knobs as the scalar-engine suite, with only the backend toggled.
+# BATCH keeps candidate generation on (the default front end); BATCH_EXH
+# pins the exhaustive enumerate-then-batch path whose accounting some
+# stats tests document.
 SCALAR = EngineOptions(jobs=1, prune=True, cache_size=8192, batch=False)
 BATCH = EngineOptions(jobs=1, prune=True, cache_size=8192, batch=True)
+BATCH_EXH = EngineOptions(jobs=1, prune=True, cache_size=8192, batch=True,
+                          candidates=False)
 
 _SCOPES = (Scope.LA, Scope.BLOCK, Scope.MODEL)
 
@@ -211,13 +217,24 @@ class TestEngineEquivalence:
 
 class TestStats:
     def test_cold_search_accounting(self, small_cfg, edge_accel):
-        res = search(small_cfg, edge_accel, engine=BATCH,
+        res = search(small_cfg, edge_accel, engine=BATCH_EXH,
                      retain_points=False)
         s = res.stats
         # Every candidate went through the array path; the winner alone
         # got the scalar breakdown, the losers are booked as pruned.
         assert s.batch_evaluations == s.enumerated
         assert s.evaluated == 1
+        assert s.enumerated == s.cache_hits + s.pruned + s.evaluated
+
+    def test_cold_candidate_accounting(self, small_cfg, edge_accel):
+        res = search(small_cfg, edge_accel, engine=BATCH,
+                     retain_points=False)
+        s = res.stats
+        # The generated front end never expands skipped families, so
+        # fewer candidates hit the array than were (virtually)
+        # enumerated; the ledger invariant still balances.
+        assert s.candidates_generated + s.candidates_skipped >= s.enumerated
+        assert s.batch_evaluations < s.enumerated
         assert s.enumerated == s.cache_hits + s.pruned + s.evaluated
 
     def test_memo_hit_skips_the_grid(self, small_cfg, edge_accel):
@@ -296,6 +313,6 @@ class TestDefaultBatch:
             res = search(small_cfg, edge_accel, retain_points=False)
         assert res.stats.batch_evaluations == 0
         clear_evaluation_cache()
-        with default_batch(True):
+        with default_batch(True), default_candidates(False):
             res = search(small_cfg, edge_accel, retain_points=False)
         assert res.stats.batch_evaluations == res.stats.enumerated

@@ -15,7 +15,7 @@ import repro.obs as obs
 from repro.arch.presets import edge
 from repro.core.cache import PersistentCache
 from repro.core.dse import Objective, search
-from repro.core.engine import clear_evaluation_cache
+from repro.core.engine import clear_evaluation_cache, default_candidates
 from repro.experiments.pipeline import run_pipeline, write_manifest
 from repro.experiments.runner import run_experiment
 from repro.obs.summary import (
@@ -45,9 +45,12 @@ class TestEngineInstrumentation:
                    retain_points=False)
             names = {e["name"] for e in session.collector.events}
             snap = session.registry.snapshot()
-        assert {"search", "enumerate"} <= names
+        # The default front end is the generated one; the exhaustive
+        # "enumerate" span only appears with candidates=False.
+        assert {"search", "candidate-search", "candidate-score"} <= names
         assert snap["engine.searches"]["value"] == 1
         assert snap["engine.enumerated"]["value"] > 0
+        assert snap["engine.candidates.generated"]["value"] > 0
         stats_sum = (
             snap["engine.lru_hits"]["value"]
             + snap.get("engine.pruned", {"value": 0})["value"]
@@ -56,14 +59,27 @@ class TestEngineInstrumentation:
         )
         assert stats_sum == snap["engine.enumerated"]["value"]
 
+    def test_exhaustive_path_emits_enumerate_span(self, bert_512):
+        clear_evaluation_cache()
+        with obs.observed() as session:
+            with default_candidates(False):
+                search(bert_512, edge(), objective=Objective.RUNTIME,
+                       retain_points=False)
+            names = {e["name"] for e in session.collector.events}
+        assert {"search", "enumerate"} <= names
+        assert "candidate-score" not in names
+
     def test_search_span_carries_candidate_count(self, bert_512):
         clear_evaluation_cache()
         with obs.observed() as session:
             search(bert_512, edge(), objective=Objective.RUNTIME,
                    retain_points=False)
             events = list(session.collector.events)
-        (enum_event,) = [e for e in events if e["name"] == "enumerate"]
-        assert enum_event["attrs"]["candidates"] > 0
+        (score_event,) = [e for e in events
+                          if e["name"] == "candidate-score"]
+        assert score_event["attrs"]["candidates"] > 0
+        assert score_event["attrs"]["families"] > 0
+        assert score_event["attrs"]["families_pruned"] >= 0
 
 
 class TestCacheInstrumentation:
