@@ -18,6 +18,16 @@ additionally lifted to the row's top level (``evaluations`` — scalar
 plus batch scoring calls — and ``candidates_skipped``) so trajectory
 diffs across PRs can track pruning effectiveness without digging into
 the nested totals.
+
+Schema v3 adds *serving* fields for benchmarks that drive the DSE
+service daemon (``bench_serve``): a benchmark opting in through the
+:func:`record_serving` fixture gets a ``serving`` dict on its row plus
+the headline numbers lifted to the top level — ``qps`` (served
+throughput), ``p50_ms`` / ``p99_ms`` (response-latency percentiles)
+and ``coalesce_ratio`` (requests answered per engine evaluation).
+Rows of benchmarks that never touch the daemon are unchanged, and the
+new fields are strictly additive, so v2 readers remain correct as
+long as they treat unknown/absent fields as optional.
 """
 
 from __future__ import annotations
@@ -30,8 +40,9 @@ import pytest
 
 from repro.core.engine import reset_search_totals, search_totals
 
-_ARTIFACT_SCHEMA = "repro-bench-trajectory/2"
+_ARTIFACT_SCHEMA = "repro-bench-trajectory/3"
 _rows = []
+_serving = {}
 
 
 @pytest.fixture
@@ -43,6 +54,27 @@ def report_printer(request):
         print(text)
 
     return _print
+
+
+@pytest.fixture
+def record_serving(request):
+    """Attach serving metrics to this benchmark's trajectory row (v3).
+
+    ``bench_serve`` calls this once with its measured load numbers;
+    extra keyword fields (e.g. raw scheduler counters) ride along in
+    the row's ``serving`` dict.
+    """
+
+    def _record(*, qps, p50_ms, p99_ms, coalesce_ratio, **extra):
+        _serving[request.node.nodeid] = {
+            "qps": float(qps),
+            "p50_ms": float(p50_ms),
+            "p99_ms": float(p99_ms),
+            "coalesce_ratio": float(coalesce_ratio),
+            **extra,
+        }
+
+    return _record
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -57,17 +89,21 @@ def pytest_runtest_call(item):
     start = time.perf_counter()
     yield
     totals = search_totals()
-    _rows.append(
-        {
-            "benchmark": item.nodeid,
-            "wall_time_s": time.perf_counter() - start,
-            "evaluations": (
-                totals.get("evaluated", 0) + totals.get("batch_evaluations", 0)
-            ),
-            "candidates_skipped": totals.get("candidates_skipped", 0),
-            "search": totals,
-        }
-    )
+    row = {
+        "benchmark": item.nodeid,
+        "wall_time_s": time.perf_counter() - start,
+        "evaluations": (
+            totals.get("evaluated", 0) + totals.get("batch_evaluations", 0)
+        ),
+        "candidates_skipped": totals.get("candidates_skipped", 0),
+        "search": totals,
+    }
+    serving = _serving.pop(item.nodeid, None)
+    if serving is not None:
+        row["serving"] = serving
+        for headline in ("qps", "p50_ms", "p99_ms", "coalesce_ratio"):
+            row[headline] = serving[headline]
+    _rows.append(row)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -20,6 +20,16 @@ Five modes:
 * ``python -m repro.cli trace-summary <trace.jsonl>`` — render a trace
   written by ``--trace``: top spans by self-time, the counter/gauge
   and histogram tables, and the cache accounting invariant check.
+* ``python -m repro.cli serve [--port N] [--cache-dir DIR]`` — run the
+  DSE service daemon (:mod:`repro.serve`): a long-lived asyncio server
+  answering cost/search/sweep queries over newline-delimited JSON with
+  request coalescing and shared warm caches (``docs/serving.md``).
+* ``python -m repro.cli query [--port N] [--replay FILE | query
+  flags]`` — send queries to a running daemon and print one canonical
+  JSON response line per request; ``--direct`` answers the same
+  requests in-process instead (the equivalence reference path).
+  ``run-all --serve HOST:PORT`` routes the experiment pipeline through
+  a daemon.
 
 Every mode honors ``--cache-dir`` (or ``REPRO_CACHE_DIR``): a
 persistent cross-run cache of DSE evaluations that makes warm re-runs
@@ -126,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for reports + manifest.json (default: "
              "pipeline_output)",
     )
+    pipe.add_argument(
+        "--serve", default=None, metavar="HOST:PORT",
+        help="route experiments through a running DSE service daemon "
+             "(see 'repro-flat serve') instead of a local process pool",
+    )
     cost = parser.add_argument_group("cost mode")
     cost.add_argument("--model", default="bert",
                       help="zoo model name (default: bert)")
@@ -216,9 +231,24 @@ def _run_svg(args) -> str:
     return "wrote:\n" + "\n".join(f"  {p}" for p in paths)
 
 
+def _parse_host_port(spec: str) -> "tuple[str, int]":
+    """Split ``HOST:PORT`` (host may be omitted: ``:7321``, ``7321``)."""
+    host, _, port = spec.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(
+            f"invalid address {spec!r}; expected HOST:PORT"
+        ) from None
+
+
 def _run_pipeline_mode(args) -> int:
     import repro.obs as obs
-    from repro.experiments.pipeline import run_pipeline, write_manifest
+    from repro.experiments.pipeline import (
+        run_pipeline,
+        run_pipeline_via_server,
+        write_manifest,
+    )
     from repro.obs.summary import trace_totals
 
     names = (
@@ -236,14 +266,21 @@ def _run_pipeline_mode(args) -> int:
         )
 
     try:
-        result = run_pipeline(
-            names=names, workers=args.workers, jobs=args.jobs,
-            progress=None if args.quiet else _progress,
-            batch=False if args.no_batch else None,
-            candidates=False if args.no_candidates else None,
-            warm_start=True if args.warm_start else None,
-        )
-    except ValueError as exc:
+        if args.serve:
+            host, port = _parse_host_port(args.serve)
+            result = run_pipeline_via_server(
+                names=names, host=host, port=port, jobs=args.jobs,
+                progress=None if args.quiet else _progress,
+            )
+        else:
+            result = run_pipeline(
+                names=names, workers=args.workers, jobs=args.jobs,
+                progress=None if args.quiet else _progress,
+                batch=False if args.no_batch else None,
+                candidates=False if args.no_candidates else None,
+                warm_start=True if args.warm_start else None,
+            )
+    except (ValueError, ConnectionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     trace = None
@@ -257,9 +294,13 @@ def _run_pipeline_mode(args) -> int:
     manifest_path = write_manifest(result, args.output_dir, trace=trace)
     search = result.aggregate_search()
     cache = result.aggregate_cache()
+    backend = (
+        f"via server {args.serve}" if args.serve
+        else f"with {result.workers} workers"
+    )
     print(
-        f"ran {len(result.runs)} experiments with {result.workers} "
-        f"workers in {result.wall_time_s:.1f}s "
+        f"ran {len(result.runs)} experiments {backend} in "
+        f"{result.wall_time_s:.1f}s "
         f"({len(result.failures)} failed)"
     )
     print(
@@ -318,6 +359,232 @@ def _run_trace_summary(argv: List[str]) -> int:
     return 0
 
 
+def _run_serve(argv: List[str]) -> int:
+    """The ``serve`` verb: run the DSE service daemon until signalled.
+
+    Prints the bound address on startup (flushed, so a supervising
+    process — CI, the load benchmark — can watch stdout for
+    readiness).  ``--port 0`` binds an ephemeral port.
+    """
+    import asyncio
+
+    import repro.obs as obs
+    from repro.core.cache import default_cache_dir
+    from repro.serve import SchedulerConfig, run_server
+
+    parser = argparse.ArgumentParser(
+        prog="repro-flat serve",
+        description="Serve cost/search/sweep queries over "
+                    "newline-delimited JSON with request coalescing and "
+                    "shared warm caches (see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7321,
+                        help="TCP port; 0 picks an ephemeral port "
+                             "(default: 7321)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent evaluation cache directory "
+                             "(default: REPRO_CACHE_DIR or off)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a span/metrics trace of the serving "
+                             "session on shutdown")
+    parser.add_argument("--window-ms", type=float, default=2.0,
+                        help="coalescing micro-batch window in ms "
+                             "(default: 2.0)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="max queries drained per micro-batch "
+                             "(default: 64)")
+    parser.add_argument("--max-queue", type=int, default=256,
+                        help="admission-control queue bound; beyond it "
+                             "requests are shed (default: 256)")
+    parser.add_argument("--sweep-chunk", type=int, default=8,
+                        help="sweep decomposition chunk size "
+                             "(default: 8)")
+    parser.add_argument("--memo-size", type=int, default=4096,
+                        help="served-response memo entries (default: 4096)")
+    args = parser.parse_args(argv)
+    try:
+        config = SchedulerConfig(
+            window_ms=args.window_ms, max_batch=args.max_batch,
+            max_queue=args.max_queue, sweep_chunk=args.sweep_chunk,
+            memo_size=args.memo_size,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+
+    trace_path = (
+        args.trace if args.trace is not None
+        else (os.environ.get(obs.ENV_TRACE) or None)
+    )
+    try:
+        with obs.maybe_observed(trace_path), \
+                default_cache_dir(args.cache_dir):
+            return asyncio.run(
+                run_server(args.host, args.port, config=config,
+                           announce=announce)
+            )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_query_requests(args) -> List[dict]:
+    """Requests for the ``query`` verb, from ``--replay`` or flags.
+
+    Every request lacking an ``id`` gets a deterministic ``q<N>`` in
+    order — the same ids under ``--direct`` and served mode, so the two
+    outputs diff byte-for-byte.
+    """
+    import json as _json
+
+    if args.replay:
+        requests = []
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    req = _json.loads(line)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{args.replay}:{lineno}: invalid JSON ({exc})"
+                    ) from None
+                if not isinstance(req, dict):
+                    raise ValueError(
+                        f"{args.replay}:{lineno}: request must be an object"
+                    )
+                requests.append(req)
+        if not requests:
+            raise ValueError(f"{args.replay}: no requests")
+    elif args.op in ("ping", "stats"):
+        requests = [{"op": args.op}]
+    else:
+        base = {
+            "op": args.op, "model": args.model, "seq": args.seq,
+            "batch": args.batch, "platform": args.platform,
+            "scope": args.scope,
+        }
+        dataflows = [
+            d.strip() for d in (args.dataflow or "").split(",") if d.strip()
+        ]
+        if args.op == "cost":
+            if len(dataflows) != 1:
+                raise ValueError("cost query needs exactly one --dataflow")
+            base["dataflow"] = dataflows[0]
+        elif args.op == "sweep":
+            if not dataflows:
+                raise ValueError(
+                    "sweep needs --dataflow with a comma-separated list"
+                )
+            base = {
+                "op": "sweep",
+                "requests": [
+                    dict(base, op="cost", dataflow=d) for d in dataflows
+                ],
+            }
+        else:  # search
+            base["objective"] = args.objective
+        if args.deadline_ms is not None:
+            base["deadline_ms"] = args.deadline_ms
+        requests = [base]
+    for index, req in enumerate(requests, start=1):
+        if "id" not in req:
+            req["id"] = f"q{index}"
+    return requests
+
+
+def _run_query(argv: List[str]) -> int:
+    """The ``query`` verb: replay requests against a daemon (or direct).
+
+    Writes one canonical JSON response line per request, in request
+    order, to stdout; progress events go to stderr.  ``--direct``
+    answers the same requests in-process through the reference path —
+    the byte-equivalence counterpart the CI job diffs against.  Exits 1
+    when any response is an error envelope.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-flat query",
+        description="Send queries to a running DSE daemon (or answer "
+                    "them in-process with --direct) and print one "
+                    "canonical JSON response line per request.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="daemon address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7321,
+                        help="daemon port (default: 7321)")
+    parser.add_argument("--replay", default=None, metavar="FILE",
+                        help="NDJSON file of request objects (one per "
+                             "line, # comments allowed); overrides the "
+                             "single-query flags")
+    parser.add_argument("--direct", action="store_true",
+                        help="answer in-process instead of connecting "
+                             "(the serving-equivalence reference path)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="socket timeout in seconds (default: 300)")
+    parser.add_argument("--op", default="cost",
+                        choices=["ping", "stats", "cost", "search", "sweep"],
+                        help="single-query operation (default: cost)")
+    parser.add_argument("--model", default="bert",
+                        help="zoo model name (default: bert)")
+    parser.add_argument("--seq", type=int, default=4096,
+                        help="sequence length (default: 4096)")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="batch size (default: 64)")
+    parser.add_argument("--platform", default="edge",
+                        help="edge or cloud (default: edge)")
+    parser.add_argument("--scope", default="L-A",
+                        help="L-A, Block or Model (default: L-A)")
+    parser.add_argument("--dataflow", default=None,
+                        help="dataflow for cost queries; comma-separated "
+                             "list for sweep")
+    parser.add_argument("--objective", default="runtime",
+                        help="search objective (default: runtime)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline in milliseconds")
+    args = parser.parse_args(argv)
+
+    from repro.serve import ServeClient, answer_direct, encode_line
+
+    try:
+        requests = _build_query_requests(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _on_event(event: dict) -> None:
+        print(
+            f"progress {event.get('id')}: {event.get('done')}/"
+            f"{event.get('total')}", file=sys.stderr, flush=True,
+        )
+
+    if args.direct:
+        responses = [answer_direct(req) for req in requests]
+    else:
+        try:
+            with ServeClient(args.host, args.port,
+                             timeout=args.timeout) as client:
+                responses = client.request_many(
+                    requests, on_event=_on_event
+                )
+        except (OSError, ConnectionError) as exc:
+            print(
+                f"error: cannot reach daemon at {args.host}:{args.port} "
+                f"({exc})", file=sys.stderr,
+            )
+            return 2
+    out = sys.stdout.buffer
+    for response in responses:
+        out.write(encode_line(response))
+    out.flush()
+    return 0 if all(r.get("ok") for r in responses) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import repro.obs as obs
     from repro.core.cache import default_cache_dir
@@ -337,6 +604,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(raw[1:])
     if raw and raw[0] == "trace-summary":
         return _run_trace_summary(raw[1:])
+    if raw and raw[0] == "serve":
+        return _run_serve(raw[1:])
+    if raw and raw[0] == "query":
+        return _run_query(raw[1:])
     args = build_parser().parse_args(raw)
     batch = False if args.no_batch else None
     candidates = False if args.no_candidates else None

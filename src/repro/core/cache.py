@@ -26,6 +26,14 @@ missing tier — an on-disk cache shared across processes and runs:
   deleted, never fatal — so ``hits + misses == lookups`` holds
   unconditionally (see :class:`CacheStats`).
 
+* **Thread-safe.**  Each instance serializes its public operations
+  behind a re-entrant lock: the serving layer (:mod:`repro.serve`)
+  drives one shared instance from executor threads, and the stats
+  counters plus the metrics delta in :meth:`PersistentCache.get` are
+  read-modify-write sequences that would otherwise interleave.  The
+  on-disk format needs no extra locking — atomicity already comes from
+  ``os.replace``.
+
 * **Bounded.**  ``max_entries`` caps the store; an eviction pass (every
   ``evict_interval`` local writes, or on demand) drops the
   least-recently-used entries — ``get`` refreshes an entry's mtime —
@@ -46,6 +54,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -167,8 +176,9 @@ class CacheStats:
 class PersistentCache:
     """One on-disk evaluation store rooted at ``root``.
 
-    Safe for concurrent use from multiple processes; see the module
-    docstring for the guarantees.  ``fingerprint`` defaults to
+    Safe for concurrent use from multiple processes *and*, per
+    instance, from multiple threads; see the module docstring for the
+    guarantees.  ``fingerprint`` defaults to
     :func:`cost_model_fingerprint` and selects the generation directory
     all entries of this instance live in.
     """
@@ -192,6 +202,8 @@ class PersistentCache:
         self._generation = self.root / self.fingerprint[:16]
         self._generation.mkdir(parents=True, exist_ok=True)
         self._writes_since_evict = 0
+        # Re-entrant because _put may call evict() while already held.
+        self._lock = threading.RLock()
 
     # -- addressing ----------------------------------------------------
     def _entry_path(self, key: object) -> Tuple[Path, str]:
@@ -205,6 +217,10 @@ class PersistentCache:
     # -- core operations -----------------------------------------------
     def get(self, key: object) -> Optional[object]:
         """Stored value for ``key``, or ``None`` on miss/corruption."""
+        with self._lock:
+            return self._get_observed(key)
+
+    def _get_observed(self, key: object) -> Optional[object]:
         registry = _metrics_active()
         if registry is None:
             return self._get(key)
@@ -259,6 +275,10 @@ class PersistentCache:
 
     def put(self, key: object, value: object) -> None:
         """Store ``value`` under ``key`` (atomic, last-writer-wins)."""
+        with self._lock:
+            self._put_observed(key, value)
+
+    def _put_observed(self, key: object, value: object) -> None:
         registry = _metrics_active()
         if registry is None:
             self._put(key, value)
@@ -318,15 +338,16 @@ class PersistentCache:
         evictors are benign: unlinking an already-unlinked file is a
         no-op.
         """
-        registry = _metrics_active()
-        if registry is None:
-            return self._evict()
-        start = time.perf_counter()
-        removed = self._evict()
-        elapsed = time.perf_counter() - start
-        registry.counter("cache.evictions").inc(removed)
-        registry.histogram("cache.evict_s").observe(elapsed)
-        return removed
+        with self._lock:
+            registry = _metrics_active()
+            if registry is None:
+                return self._evict()
+            start = time.perf_counter()
+            removed = self._evict()
+            elapsed = time.perf_counter() - start
+            registry.counter("cache.evictions").inc(removed)
+            registry.histogram("cache.evict_s").observe(elapsed)
+            return removed
 
     def _evict(self) -> int:
         self._writes_since_evict = 0
@@ -363,8 +384,9 @@ class PersistentCache:
 
     def clear(self) -> None:
         """Delete every entry of the live generation."""
-        shutil.rmtree(self._generation, ignore_errors=True)
-        self._generation.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            shutil.rmtree(self._generation, ignore_errors=True)
+            self._generation.mkdir(parents=True, exist_ok=True)
 
 
 # ----------------------------------------------------------------------
@@ -374,6 +396,7 @@ class PersistentCache:
 # disabled (overrides the environment).  Anything else: a directory.
 _default_dir: Optional[str] = None
 _instances: Dict[Tuple[str, str], PersistentCache] = {}
+_INSTANCES_LOCK = threading.Lock()
 
 
 def resolve_cache_dir() -> Optional[str]:
@@ -387,10 +410,11 @@ def resolve_cache_dir() -> Optional[str]:
 def open_cache(path: os.PathLike) -> PersistentCache:
     """Per-process singleton cache for ``path`` (one per fingerprint)."""
     key = (os.path.abspath(os.fspath(path)), cost_model_fingerprint())
-    cache = _instances.get(key)
-    if cache is None:
-        cache = PersistentCache(key[0], fingerprint=key[1])
-        _instances[key] = cache
+    with _INSTANCES_LOCK:
+        cache = _instances.get(key)
+        if cache is None:
+            cache = PersistentCache(key[0], fingerprint=key[1])
+            _instances[key] = cache
     return cache
 
 

@@ -74,6 +74,7 @@ so whole experiments and pipeline runs can report their DSE work.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -377,10 +378,17 @@ _TOTALS_ZERO = {
 }
 _totals = dict(_TOTALS_ZERO)
 
+# Guards the accumulator against concurrent ``_accumulate`` calls: the
+# serving layer (repro.serve) answers queries from executor threads, so
+# the historical "one thread per process" assumption no longer holds.
+# See docs/search_engine.md ("Concurrency contract").
+_TOTALS_LOCK = threading.Lock()
+
 
 def reset_search_totals() -> None:
     """Zero the per-process accumulated :class:`SearchStats`."""
-    _totals.update(_TOTALS_ZERO)
+    with _TOTALS_LOCK:
+        _totals.update(_TOTALS_ZERO)
 
 
 def search_totals() -> dict:
@@ -388,7 +396,8 @@ def search_totals() -> dict:
 
     Per-process: a pipeline worker reports the experiments *it* ran.
     """
-    return dict(_totals)
+    with _TOTALS_LOCK:
+        return dict(_totals)
 
 
 @contextmanager
@@ -400,14 +409,23 @@ def scoped_search_totals() -> Iterator[None]:
     :func:`reset_search_totals` silently destroys whatever the caller
     had accumulated.  This scope makes the measurement side-effect-free:
     on exit the accumulator holds exactly the values it held on entry.
+
+    The save/zero and restore steps are individually atomic, but the
+    scope itself is not isolated from other threads: searches run by a
+    concurrent thread while the block is active land in (and are then
+    discarded with) the scoped window.  Serialize callers that need an
+    exact per-block attribution — the serve layer runs experiments on a
+    dedicated single-thread executor for exactly this reason.
     """
-    saved = dict(_totals)
-    _totals.update(_TOTALS_ZERO)
+    with _TOTALS_LOCK:
+        saved = dict(_totals)
+        _totals.update(_TOTALS_ZERO)
     try:
         yield
     finally:
-        _totals.clear()
-        _totals.update(saved)
+        with _TOTALS_LOCK:
+            _totals.clear()
+            _totals.update(saved)
 
 
 def _metric_inc(name: str, amount: int = 1) -> None:
@@ -418,17 +436,18 @@ def _metric_inc(name: str, amount: int = 1) -> None:
 
 
 def _accumulate(stats: SearchStats) -> None:
-    _totals["searches"] += 1
-    _totals["enumerated"] += stats.enumerated
-    _totals["evaluated"] += stats.evaluated
-    _totals["pruned"] += stats.pruned
-    _totals["cache_hits"] += stats.cache_hits
-    _totals["disk_hits"] += stats.disk_hits
-    _totals["batch_evaluations"] += stats.batch_evaluations
-    _totals["candidates_generated"] += stats.candidates_generated
-    _totals["candidates_skipped"] += stats.candidates_skipped
-    _totals["families_pruned"] += stats.families_pruned
-    _totals["wall_time_s"] += stats.wall_time_s
+    with _TOTALS_LOCK:
+        _totals["searches"] += 1
+        _totals["enumerated"] += stats.enumerated
+        _totals["evaluated"] += stats.evaluated
+        _totals["pruned"] += stats.pruned
+        _totals["cache_hits"] += stats.cache_hits
+        _totals["disk_hits"] += stats.disk_hits
+        _totals["batch_evaluations"] += stats.batch_evaluations
+        _totals["candidates_generated"] += stats.candidates_generated
+        _totals["candidates_skipped"] += stats.candidates_skipped
+        _totals["families_pruned"] += stats.families_pruned
+        _totals["wall_time_s"] += stats.wall_time_s
     registry = _metrics_active()
     if registry is not None:
         registry.counter("engine.searches").inc()
@@ -458,43 +477,57 @@ def _accumulate(stats: SearchStats) -> None:
 # cross-sweep evaluation cache
 # ----------------------------------------------------------------------
 class _LRUCache:
-    """Minimal LRU mapping; not thread-safe (the engine is process-based)."""
+    """Minimal LRU mapping, lock-guarded for threaded servers.
+
+    The engine historically parallelised with processes only, but the
+    serving layer (:mod:`repro.serve`) shares this process-wide memo
+    across executor threads: ``move_to_end`` plus the hit/miss counters
+    are read-modify-write sequences, so every public method holds a
+    mutex.  Uncontended acquisition is tens of nanoseconds — noise next
+    to a ``cost_scope`` evaluation.
+    """
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self._data: "OrderedDict[tuple, ScopeCost]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def resize(self, maxsize: int) -> None:
-        self.maxsize = maxsize
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def get(self, key: tuple) -> Optional[ScopeCost]:
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: tuple, value: ScopeCost) -> None:
-        if self.maxsize <= 0:
-            return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            if self.maxsize <= 0:
+                return
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
 
 _CACHE = _LRUCache(EngineOptions().cache_size)

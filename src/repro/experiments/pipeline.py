@@ -51,6 +51,7 @@ __all__ = [
     "ExperimentRun",
     "PipelineResult",
     "run_pipeline",
+    "run_pipeline_via_server",
     "write_manifest",
     "MANIFEST_SCHEMA",
 ]
@@ -289,6 +290,97 @@ def run_pipeline(
         wall_time_s=time.perf_counter() - start,
         workers=workers,
         cache_dir=cache_dir,
+    )
+
+
+def run_pipeline_via_server(
+    names: Optional[Sequence[str]] = None,
+    host: str = "127.0.0.1",
+    port: int = 7321,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    timeout: float = 3600.0,
+) -> PipelineResult:
+    """Run ``names`` through a live DSE service daemon.
+
+    The ``run-all --serve HOST:PORT`` backend: every experiment becomes
+    one ``experiment`` request pipelined over a single connection; the
+    daemon executes them serially on its dedicated experiment thread
+    (sharing its warm engine LRU and persistent cache across callers)
+    and the responses are rebuilt into :class:`ExperimentRun` records,
+    so :func:`write_manifest` and the CLI summary work unchanged.
+    Report text is deterministic, hence byte-identical to a local
+    :func:`run_pipeline` — only the accounting (wall times, cache
+    warmth) differs.
+
+    ``workers`` is reported as ``0`` in the result: the work happened
+    in the daemon's process, not a local pool.  ``cache_dir`` is
+    ``None`` for the same reason — cache traffic is accounted per run
+    from the daemon's counters, but the directory is the daemon's.
+    A failing experiment (or a rejected request) is an
+    ``status="error"`` run, mirroring :func:`run_pipeline`.
+    """
+    from repro.serve.client import ServeClient
+
+    selected = list(names) if names is not None else experiment_names()
+    known = set(experiment_names())
+    unknown = [n for n in selected if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown experiments {unknown}; choose from "
+            f"{experiment_names()}"
+        )
+    if not selected:
+        raise ValueError("no experiments selected")
+
+    def _rebuild(name: str, response: Dict[str, object]) -> ExperimentRun:
+        if not response.get("ok"):
+            return ExperimentRun(
+                name=name, status="error",
+                report=f"{response.get('code')}: {response.get('error')}",
+                wall_time_s=0.0, search={}, cache={},
+            )
+        payload = response["result"]
+        return ExperimentRun(
+            name=str(payload["name"]),
+            status=str(payload["status"]),
+            report=str(payload["report"]),
+            wall_time_s=float(payload["wall_time_s"]),
+            search=dict(payload["search"]),
+            cache=dict(payload["cache"]),
+        )
+
+    requests = []
+    for index, name in enumerate(selected):
+        req: Dict[str, object] = {
+            "op": "experiment", "name": name, "id": f"exp{index}",
+        }
+        if jobs is not None:
+            req["jobs"] = jobs
+        requests.append(req)
+    by_id = {req["id"]: req["name"] for req in requests}
+
+    done = 0
+
+    def _on_response(msg: Dict[str, object]) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(_rebuild(by_id[str(msg.get("id"))], msg), done,
+                     len(selected))
+
+    start = time.perf_counter()
+    with ServeClient(host, port, timeout=timeout) as client:
+        responses = client.request_many(requests, on_response=_on_response)
+    runs = tuple(
+        _rebuild(name, response)
+        for name, response in zip(selected, responses)
+    )
+    return PipelineResult(
+        runs=runs,
+        wall_time_s=time.perf_counter() - start,
+        workers=0,
+        cache_dir=None,
     )
 
 

@@ -159,6 +159,11 @@ REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
 FINGERPRINT_EXCLUDED_PREFIXES: FrozenSet[str] = frozenset({
     "repro.obs",
     "repro.lint",
+    # The serving layer is a pure transport over the engine: its
+    # responses are byte-identical to direct calls (the
+    # serving-equivalence CI job), so a scheduler or protocol edit
+    # must never invalidate the disk cache.
+    "repro.serve",
 })
 
 #: R4 — frozen dataclasses embedded in the engine's evaluation key

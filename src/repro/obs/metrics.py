@@ -16,12 +16,17 @@ Three instrument kinds cover the repo's needs:
   consumers here want totals and extremes, not quantiles, and keeping
   the record four numbers makes snapshots and merges trivially exact.
 
-Like the trace collector, the registry is process-local and not
-thread-safe; the engine parallelises with processes, never threads.
+Like the trace collector, the registry is process-local.  Mutations
+(``inc``/``set``/``observe``, instrument creation, ``merge``) are
+serialized behind one module lock so the serving layer
+(:mod:`repro.serve`) can record from executor threads; the engine's
+process-pool parallelism is unaffected.  ``snapshot`` takes the same
+lock, so a snapshot is internally consistent.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 __all__ = [
@@ -35,6 +40,13 @@ __all__ = [
 ]
 
 
+# One lock for every instrument in the process: mutations are tiny
+# (an add, a compare), so contention is negligible and a single lock
+# keeps the per-instrument memory footprint at zero extra slots.
+# Re-entrant because ``merge`` holds it across ``_get``/``merge_dict``.
+_LOCK = threading.RLock()
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -45,7 +57,8 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def as_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "value": self.value}
@@ -64,7 +77,8 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
+        with _LOCK:
+            self.value = value
 
     def as_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "value": self.value}
@@ -86,12 +100,13 @@ class Histogram:
         self.max = float("-inf")
 
     def observe(self, sample: float) -> None:
-        self.count += 1
-        self.total += sample
-        if sample < self.min:
-            self.min = sample
-        if sample > self.max:
-            self.max = sample
+        with _LOCK:
+            self.count += 1
+            self.total += sample
+            if sample < self.min:
+                self.min = sample
+            if sample > self.max:
+                self.max = sample
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -133,16 +148,17 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
 
     def _get(self, name: str, cls):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = cls()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
-            raise TypeError(
-                f"metric {name!r} is a {type(instrument).kind}, "
-                f"not a {cls.kind}"
-            )
-        return instrument
+        with _LOCK:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).kind}, "
+                    f"not a {cls.kind}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -155,10 +171,11 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All instruments as plain dicts, sorted by name (JSON-ready)."""
-        return {
-            name: self._instruments[name].as_dict()  # type: ignore[union-attr]
-            for name in sorted(self._instruments)
-        }
+        with _LOCK:
+            return {
+                name: self._instruments[name].as_dict()  # type: ignore[union-attr]
+                for name in sorted(self._instruments)
+            }
 
     @staticmethod
     def diff(
@@ -200,12 +217,15 @@ class MetricsRegistry:
 
     def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
         """Fold a snapshot (e.g. a worker's) into this registry."""
-        for name, data in snapshot.items():
-            kind = data.get("kind")
-            cls = _KINDS.get(str(kind))
-            if cls is None:
-                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
-            self._get(name, cls).merge_dict(data)
+        with _LOCK:
+            for name, data in snapshot.items():
+                kind = data.get("kind")
+                cls = _KINDS.get(str(kind))
+                if cls is None:
+                    raise ValueError(
+                        f"metric {name!r} has unknown kind {kind!r}"
+                    )
+                self._get(name, cls).merge_dict(data)
 
 
 # ----------------------------------------------------------------------

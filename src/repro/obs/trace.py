@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -93,8 +94,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         collector = self._collector
-        self.id = collector._next_id
-        collector._next_id += 1
+        with collector._id_lock:
+            self.id = collector._next_id
+            collector._next_id += 1
         stack = collector._stack
         self.parent = stack[-1].id if stack else 0
         self._depth = len(stack)
@@ -106,10 +108,11 @@ class Span:
     def __exit__(self, exc_type, exc, tb) -> bool:
         end = time.perf_counter()
         collector = self._collector
-        collector._stack.pop()
+        stack = collector._stack
+        stack.pop()
         dur = end - self._start
-        if collector._stack:
-            collector._stack[-1]._child_s += dur
+        if stack:
+            stack[-1]._child_s += dur
         event: Dict[str, object] = {
             "type": "span",
             "name": self.name,
@@ -132,16 +135,31 @@ class Span:
 class TraceCollector:
     """Process-local span store: a stack for nesting, a list of events.
 
-    Not thread-safe by design — the engine and pipeline are process-
-    parallel, and each process owns (at most) one collector.
+    Thread-aware: span *nesting* is tracked on a per-thread stack, so
+    the serving layer (:mod:`repro.serve`) can open spans from executor
+    threads without corrupting another thread's parent linkage.  Ids
+    are allocated under a lock (unique per collector); the completion
+    log itself is a plain list — appends are atomic under the GIL and
+    ordering across threads is completion order, same as before.
+    Parent links never cross a thread boundary, mirroring how merged
+    worker events never cross a pid boundary.
     """
 
     def __init__(self) -> None:
         self.pid = os.getpid()
         self.origin = time.perf_counter()
         self.events: List[Dict[str, object]] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
         self._next_id = 1
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, /, **attrs) -> Span:
         return Span(self, name, attrs)

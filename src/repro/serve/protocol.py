@@ -1,0 +1,347 @@
+"""Wire protocol of the DSE service: requests, responses, payloads.
+
+Transport is newline-delimited JSON (one object per line) over TCP.
+Every request carries an ``op`` plus an optional caller-chosen ``id``
+that is echoed on the response, so a client may pipeline requests and
+match answers arriving out of order.  Responses are either
+
+``{"id": ..., "ok": true, "result": {...}}``
+    the operation's payload, or
+
+``{"id": ..., "ok": false, "code": "...", "error": "..."}``
+    a typed failure (``bad_request``, ``overloaded``,
+    ``deadline_exceeded``, ``draining``, ``internal``).
+
+Long-running ``sweep`` operations additionally stream progress events
+— ``{"id": ..., "event": "progress", "done": k, "total": n}`` — before
+their final response.
+
+**Canonical encoding.**  :func:`encode_line` serializes with sorted
+keys, minimal separators and Python's shortest-round-trip float repr.
+Combined with payload builders that compute every field through the
+exact arithmetic of the scalar cost path, this makes a served response
+*byte-identical* to a direct in-process call — the property the
+``serving-equivalence`` CI job diffs for.  Payloads therefore include
+only deterministic quantities (cycles, traffic, activity counts,
+energy); wall times and engine statistics are deliberately absent.
+
+The payload builders have two implementations of the same numbers:
+:func:`cost_payload` reads a scalar :class:`~repro.core.perf.ScopeCost`
+and :func:`grid_payloads` reads a vectorized
+:class:`~repro.core.batch.GridEvaluation`.  The batch backend's
+contract (bit-for-bit equality with the scalar model, term-by-term
+energy replay) is what lets the coalescing scheduler answer a merged
+grid call with the same bytes a lone query would have received.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.config_io import (
+    accelerator_from_dict,
+    dataflow_from_dict,
+    dataflow_to_dict,
+    workload_from_dict,
+)
+from repro.core.dataflow import Dataflow
+from repro.core.dse import DSEResult, Objective
+from repro.core.engine import accelerator_fingerprint
+from repro.core.perf import ScopeCost
+from repro.energy.model import energy_report
+from repro.ops.attention import AttentionConfig, Scope
+
+__all__ = [
+    "PROTOCOL",
+    "ProtocolError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "Draining",
+    "Query",
+    "resolve_query",
+    "encode_line",
+    "ok_response",
+    "error_response",
+    "progress_event",
+    "cost_payload",
+    "grid_payloads",
+    "search_payload",
+]
+
+#: Bump when the request or response layout changes.
+PROTOCOL = "repro-serve/1"
+
+
+class ProtocolError(Exception):
+    """A typed request failure, carried to the client as an error line."""
+
+    code = "bad_request"
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class Overloaded(ProtocolError):
+    """Admission control shed this request (queue full)."""
+
+    code = "overloaded"
+
+
+class DeadlineExceeded(ProtocolError):
+    """The request's deadline passed before evaluation started."""
+
+    code = "deadline_exceeded"
+
+
+class Draining(ProtocolError):
+    """The server is shutting down and accepts no new work."""
+
+    code = "draining"
+
+
+# ----------------------------------------------------------------------
+# request resolution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Query:
+    """One resolved, hashable unit of schedulable work.
+
+    ``kind`` is ``"cost"`` (needs ``dataflow``) or ``"search"`` (needs
+    ``objective``).  Hashability is what the scheduler's deduplication
+    and memoization key on; the accelerator participates through its
+    cost-observable fingerprint so two accelerators differing only in
+    name coalesce (their costs — and therefore payloads — are
+    identical by construction).
+    """
+
+    kind: str
+    cfg: AttentionConfig
+    accel: Accelerator
+    scope: Scope
+    dataflow: Optional[Dataflow] = None
+    objective: Optional[Objective] = None
+
+    def group_key(self) -> Tuple:
+        """Coalescing group: queries sharing it can share one grid call."""
+        return (
+            self.kind, self.cfg, accelerator_fingerprint(self.accel),
+            self.scope,
+        )
+
+    def dedupe_key(self) -> Tuple:
+        """Full identity: equal keys receive the same response payload."""
+        return self.group_key() + (self.dataflow, self.objective)
+
+
+def _resolve_scope(name: object) -> Scope:
+    for scope in Scope:
+        if scope.value.lower() == str(name).lower():
+            return scope
+    raise ProtocolError(
+        f"unknown scope {name!r}; choose from {[s.value for s in Scope]}"
+    )
+
+
+def _resolve_workload(req: Dict[str, Any]) -> AttentionConfig:
+    from repro.models.configs import model_config
+
+    workload = req.get("workload")
+    if workload is not None:
+        if not isinstance(workload, dict):
+            raise ProtocolError("'workload' must be an object")
+        try:
+            return workload_from_dict(workload)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    model = req.get("model")
+    if model is None:
+        raise ProtocolError("request needs 'workload' or 'model'")
+    try:
+        return model_config(
+            str(model),
+            seq=int(req.get("seq", 4096)),
+            batch=int(req.get("batch", 64)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"workload invalid: {exc}") from None
+
+
+def _resolve_accelerator(req: Dict[str, Any]) -> Accelerator:
+    from repro.arch.presets import get_platform
+
+    accel = req.get("accel")
+    if accel is not None:
+        if not isinstance(accel, dict):
+            raise ProtocolError("'accel' must be an object")
+        try:
+            return accelerator_from_dict(accel)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    platform = str(req.get("platform", "edge"))
+    try:
+        return get_platform(platform)
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"unknown platform {platform!r}: {exc}") from None
+
+
+def _resolve_dataflow(spec: object) -> Dataflow:
+    from repro.core.dataflow import parse_dataflow
+
+    if isinstance(spec, dict):
+        try:
+            return dataflow_from_dict(spec)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    try:
+        return parse_dataflow(str(spec))
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
+
+
+def resolve_query(req: Dict[str, Any]) -> Query:
+    """Validate one ``cost``/``search`` request into a :class:`Query`.
+
+    Raises :class:`ProtocolError` (``bad_request``) on anything
+    malformed; resolution is pure, so a bad request is rejected before
+    it ever reaches the scheduler.
+    """
+    op = req.get("op")
+    if op not in ("cost", "search"):
+        raise ProtocolError(f"op {op!r} is not a query (cost/search)")
+    cfg = _resolve_workload(req)
+    accel = _resolve_accelerator(req)
+    scope = _resolve_scope(req.get("scope", "L-A"))
+    if op == "cost":
+        spec = req.get("dataflow")
+        if spec is None:
+            raise ProtocolError("cost query needs 'dataflow'")
+        return Query(
+            kind="cost", cfg=cfg, accel=accel, scope=scope,
+            dataflow=_resolve_dataflow(spec),
+        )
+    try:
+        objective = Objective(str(req.get("objective", "runtime")))
+    except ValueError:
+        raise ProtocolError(
+            f"unknown objective {req.get('objective')!r}; choose from "
+            f"{[o.value for o in Objective]}"
+        ) from None
+    return Query(
+        kind="search", cfg=cfg, accel=accel, scope=scope,
+        objective=objective,
+    )
+
+
+def resolve_deadline_s(req: Dict[str, Any]) -> Optional[float]:
+    """The request's relative deadline in seconds, if any."""
+    raw = req.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        deadline = float(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError("'deadline_ms' must be a number") from None
+    if deadline < 0:
+        raise ProtocolError("'deadline_ms' must be >= 0")
+    return deadline / 1000.0
+
+
+# ----------------------------------------------------------------------
+# canonical encoding + envelopes
+# ----------------------------------------------------------------------
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One canonical JSON line: sorted keys, minimal separators.
+
+    Deterministic byte-for-byte for equal values — the foundation of
+    the served-vs-direct equivalence diff.
+    """
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode()
+
+
+def ok_response(req_id: object, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_response(
+    req_id: object, code: str, message: str
+) -> Dict[str, Any]:
+    return {"id": req_id, "ok": False, "code": code, "error": message}
+
+
+def progress_event(req_id: object, done: int, total: int) -> Dict[str, Any]:
+    return {"id": req_id, "event": "progress", "done": done, "total": total}
+
+
+# ----------------------------------------------------------------------
+# payload builders (deterministic fields only)
+# ----------------------------------------------------------------------
+def cost_payload(cost: ScopeCost) -> Dict[str, Any]:
+    """The served fields of one evaluation, from the scalar path.
+
+    Restricted to quantities :func:`grid_payloads` can reproduce
+    bit-for-bit from a :class:`~repro.core.batch.GridEvaluation` row;
+    ``energy_j`` uses the default energy table (callers with custom
+    tables derive joules client-side from the activity counts, which
+    are all here).
+    """
+    counts = cost.counts
+    return {
+        "total_cycles": float(cost.total_cycles),
+        "dram_bytes": float(cost.dram_bytes),
+        "footprint_bytes": int(cost.max_footprint_bytes),
+        "macs": float(counts.macs),
+        "sl_words": float(counts.sl_words),
+        "sg_words": float(counts.sg_words),
+        "dram_words": float(counts.dram_words),
+        "sfu_ops": float(counts.sfu_ops),
+        "energy_j": float(energy_report(counts).total_j),
+    }
+
+
+def grid_payloads(grid) -> List[Dict[str, Any]]:
+    """Per-row payloads of one ``evaluate_grid`` call.
+
+    The energy term replays ``objective_scores(ENERGY)`` — which itself
+    replays ``energy_report`` term by term — so every field equals the
+    scalar :func:`cost_payload` bit for bit (the batch backend's
+    contract, asserted in ``tests/serve/test_protocol.py``).
+    """
+    energy = grid.objective_scores(Objective.ENERGY)
+    out: List[Dict[str, Any]] = []
+    for i in range(len(grid)):
+        out.append(
+            {
+                "total_cycles": float(grid.total_cycles[i]),
+                "dram_bytes": float(grid.dram_bytes[i]),
+                "footprint_bytes": int(grid.footprint_bytes[i]),
+                "macs": float(grid.macs[i]),
+                "sl_words": float(grid.sl_words[i]),
+                "sg_words": float(grid.sg_words[i]),
+                "dram_words": float(grid.dram_words[i]),
+                "sfu_ops": float(grid.sfu_ops[i]),
+                "energy_j": float(energy[i]),
+            }
+        )
+    return out
+
+
+def search_payload(result: DSEResult) -> Dict[str, Any]:
+    """The served fields of one DSE: the objective and the winner.
+
+    Engine statistics (wall time, pruning counts) are deliberately
+    excluded — they vary with cache warmth and engine knobs, and the
+    payload must not.
+    """
+    best = result.best
+    return {
+        "objective": result.objective.value,
+        "dataflow": dataflow_to_dict(best.dataflow),
+        "cost": cost_payload(best.cost),
+    }

@@ -1,0 +1,366 @@
+"""The coalescing scheduler: micro-batching, dedup, memo, admission.
+
+The server's perf core.  Requests are admitted onto one bounded queue;
+a dispatch loop pops them in **micro-batches** — it waits up to
+``window_ms`` after the first arrival (or until ``max_batch`` requests
+are waiting) so that concurrent callers land in the same batch — and
+then:
+
+1. **Deadline triage.**  Queued requests whose deadline has already
+   passed are answered with ``deadline_exceeded`` without costing
+   anything (a deadline cancels *queued* work; a request already on
+   the evaluator thread runs to completion — cheap and the result
+   warms the caches anyway).
+
+2. **Grouping.**  Live requests are grouped by
+   :meth:`~repro.serve.protocol.Query.group_key` — kind, workload,
+   accelerator *fingerprint*, scope.  Within a group, identical
+   queries (equal :meth:`~repro.serve.protocol.Query.dedupe_key`)
+   collapse to a single evaluation whose payload fans back out to
+   every waiter — this is also what guarantees one disk write for N
+   coalesced identical requests.
+
+3. **Dispatch.**  A cost group with several distinct dataflows becomes
+   one :func:`~repro.core.batch.evaluate_grid` call
+   (:func:`~repro.serve.service.execute_cost_group`); singletons and
+   search queries take the scalar reference path.  Evaluation runs on
+   a thread-pool executor (default: one worker, so engine state is
+   never contended) while the event loop keeps accepting and batching
+   — group dispatches are tracked as in-flight tasks, not awaited
+   inline, so a slow search never blocks the next micro-batch.
+
+Completed payloads also land in a bounded **response memo** keyed by
+the dedupe key: a warm repeat is answered inline at submit time
+without touching the queue.  (Grid-evaluated rows cannot be written
+back to the engine's ScopeCost caches — a grid row has no operator
+breakdown — so this memo is the serving tier's warm store; scalar
+evaluations additionally warm the engine LRU and the disk cache.)
+
+Admission control sheds with ``overloaded`` when the queue is full,
+and :meth:`CoalescingScheduler.drain` finishes queued + in-flight work
+while new submissions fail with ``draining``.
+
+All scheduler state is touched only on the event loop; the executor
+threads run pure evaluation functions.  Counters live in
+:meth:`CoalescingScheduler.stats` and are mirrored to
+:mod:`repro.obs.metrics` when observability is on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import active as _metrics_active
+from repro.serve.protocol import (
+    DeadlineExceeded,
+    Draining,
+    Overloaded,
+    ProtocolError,
+    Query,
+)
+from repro.serve.service import execute_cost_group, execute_query
+
+__all__ = ["SchedulerConfig", "CoalescingScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the coalescing scheduler.
+
+    ``window_ms`` trades a little first-request latency for batch
+    density; ``0`` dispatches every loop wakeup immediately (useful in
+    tests).  ``eval_workers`` is the evaluator thread count — the
+    default of 1 serializes engine work, which keeps per-request cost
+    work strictly ordered and uncontended; raising it is safe (the
+    engine's shared state is lock-guarded) but rarely pays below
+    several cores of headroom.
+    """
+
+    window_ms: float = 2.0
+    max_batch: int = 64
+    max_queue: int = 256
+    sweep_chunk: int = 8
+    memo_size: int = 4096
+    eval_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        if min(self.max_batch, self.max_queue, self.sweep_chunk,
+               self.eval_workers) < 1:
+            raise ValueError(
+                "max_batch, max_queue, sweep_chunk and eval_workers "
+                "must be >= 1"
+            )
+        if self.memo_size < 0:
+            raise ValueError("memo_size must be >= 0")
+
+
+@dataclass
+class _Pending:
+    query: Query
+    key: Tuple
+    future: "asyncio.Future[Dict[str, Any]]"
+    deadline: Optional[float] = None
+    members: List["_Pending"] = field(default_factory=list)
+
+
+_STAT_KEYS = (
+    "requests", "memo_hits", "shed", "deadline_expired", "coalesced",
+    "batches", "evaluations", "grid_calls", "grid_rows",
+)
+
+
+class CoalescingScheduler:
+    """Single-event-loop request coalescer over the evaluation engine.
+
+    ``cost_group_fn`` / ``query_fn`` default to the real service
+    functions and are injectable for scheduler-behavior tests (a stub
+    can block, fail or count calls without paying for the cost model).
+    """
+
+    def __init__(
+        self,
+        config: SchedulerConfig = SchedulerConfig(),
+        cost_group_fn: Callable[
+            [List[Query]], Tuple[List[Dict[str, Any]], bool]
+        ] = execute_cost_group,
+        query_fn: Callable[[Query], Dict[str, Any]] = execute_query,
+    ) -> None:
+        self.config = config
+        self._cost_group_fn = cost_group_fn
+        self._query_fn = query_fn
+        self._queue: Deque[_Pending] = deque()
+        self._wakeup = asyncio.Event()
+        self._memo: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._stats: Dict[str, int] = {key: 0 for key in _STAT_KEYS}
+        self._draining = False
+        self._loop_task: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._executor = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Spawn the dispatch loop on the running event loop."""
+        if self._loop_task is not None:
+            raise RuntimeError("scheduler already started")
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.eval_workers,
+            thread_name_prefix="serve-eval",
+        )
+        self._loop_task = asyncio.get_running_loop().create_task(
+            self._run()
+        )
+
+    async def drain(self) -> None:
+        """Finish queued + in-flight work; reject new submissions."""
+        self._draining = True
+        self._wakeup.set()
+        if self._loop_task is not None:
+            await self._loop_task
+            self._loop_task = None
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission ----------------------------------------------------
+    async def submit(
+        self, query: Query, deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Admit one query; resolves to its payload (or a typed error).
+
+        Must be awaited on the scheduler's event loop.  ``deadline_s``
+        is relative: the request is dropped with ``deadline_exceeded``
+        if it is still queued when the budget runs out.
+        """
+        self._stats["requests"] += 1
+        self._metric_inc("serve.requests")
+        if self._draining:
+            raise Draining("server is draining; no new work accepted")
+        key = query.dedupe_key()
+        memoized = self._memo_get(key)
+        if memoized is not None:
+            self._stats["memo_hits"] += 1
+            self._metric_inc("serve.memo_hits")
+            return memoized
+        if len(self._queue) >= self.config.max_queue:
+            self._stats["shed"] += 1
+            self._metric_inc("serve.shed")
+            raise Overloaded(
+                f"queue full ({self.config.max_queue} pending); retry later"
+            )
+        loop = asyncio.get_running_loop()
+        item = _Pending(
+            query=query,
+            key=key,
+            future=loop.create_future(),
+            deadline=(
+                loop.time() + deadline_s if deadline_s is not None else None
+            ),
+        )
+        self._queue.append(item)
+        self._wakeup.set()
+        return await item.future
+
+    # -- dispatch loop -------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return
+                await self._wakeup.wait()
+                self._wakeup.clear()
+                continue
+            if (
+                self.config.window_ms > 0
+                and len(self._queue) < self.config.max_batch
+                and not self._draining
+            ):
+                # The micro-batch window: let concurrent callers pile in.
+                await asyncio.sleep(self.config.window_ms / 1000.0)
+            batch: List[_Pending] = []
+            while self._queue and len(batch) < self.config.max_batch:
+                batch.append(self._queue.popleft())
+            groups = self._form_groups(batch, loop.time())
+            if not groups:
+                continue
+            self._stats["batches"] += 1
+            task = loop.create_task(self._dispatch(groups))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    def _form_groups(
+        self, batch: List[_Pending], now: float
+    ) -> Dict[Tuple, "OrderedDict[Tuple, _Pending]"]:
+        """Triage deadlines, group by group_key, dedupe by dedupe_key."""
+        groups: Dict[Tuple, "OrderedDict[Tuple, _Pending]"] = {}
+        for item in batch:
+            if item.future.done():
+                continue
+            if item.deadline is not None and now > item.deadline:
+                self._stats["deadline_expired"] += 1
+                self._metric_inc("serve.deadline_expired")
+                item.future.set_exception(DeadlineExceeded(
+                    "deadline passed while the request was queued"
+                ))
+                continue
+            unique = groups.setdefault(
+                item.query.group_key(), OrderedDict()
+            )
+            head = unique.get(item.key)
+            if head is None:
+                unique[item.key] = item
+            else:
+                head.members.append(item)
+                self._stats["coalesced"] += 1
+                self._metric_inc("serve.coalesced")
+        return {key: unique for key, unique in groups.items() if unique}
+
+    async def _dispatch(
+        self, groups: Dict[Tuple, "OrderedDict[Tuple, _Pending]"]
+    ) -> None:
+        await asyncio.gather(
+            *(
+                self._dispatch_group(group_key[0], list(unique.values()))
+                for group_key, unique in groups.items()
+            )
+        )
+
+    async def _dispatch_group(
+        self, kind: str, items: List[_Pending]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        queries = [item.query for item in items]
+        try:
+            if kind == "cost":
+                payloads, used_grid = await loop.run_in_executor(
+                    self._executor, self._cost_group_fn, queries
+                )
+                if used_grid:
+                    self._stats["grid_calls"] += 1
+                    self._stats["grid_rows"] += len(queries)
+                    self._metric_inc("serve.grid_calls")
+                    self._metric_inc("serve.grid_rows", len(queries))
+            else:
+                payloads = await loop.run_in_executor(
+                    self._executor, self._map_queries, queries
+                )
+        except ProtocolError as exc:
+            self._fail(items, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - typed error to callers
+            self._fail(items, ProtocolError(
+                f"{type(exc).__name__}: {exc}", code="internal"
+            ))
+            return
+        self._stats["evaluations"] += len(items)
+        self._metric_inc("serve.evaluations", len(items))
+        for item, payload in zip(items, payloads):
+            self._memo_put(item.key, payload)
+            self._resolve(item, payload)
+
+    def _map_queries(self, queries: List[Query]) -> List[Dict[str, Any]]:
+        return [self._query_fn(q) for q in queries]
+
+    @staticmethod
+    def _resolve(item: _Pending, payload: Dict[str, Any]) -> None:
+        for waiter in (item, *item.members):
+            if not waiter.future.done():
+                waiter.future.set_result(payload)
+
+    @staticmethod
+    def _fail(items: List[_Pending], exc: ProtocolError) -> None:
+        for item in items:
+            for waiter in (item, *item.members):
+                if not waiter.future.done():
+                    waiter.future.set_exception(exc)
+
+    # -- memo ----------------------------------------------------------
+    def _memo_get(self, key: Tuple) -> Optional[Dict[str, Any]]:
+        payload = self._memo.get(key)
+        if payload is not None:
+            self._memo.move_to_end(key)
+        return payload
+
+    def _memo_put(self, key: Tuple, payload: Dict[str, Any]) -> None:
+        if self.config.memo_size <= 0:
+            return
+        self._memo[key] = payload
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.config.memo_size:
+            self._memo.popitem(last=False)
+
+    # -- accounting ----------------------------------------------------
+    @staticmethod
+    def _metric_inc(name: str, amount: int = 1) -> None:
+        if amount:
+            registry = _metrics_active()
+            if registry is not None:
+                registry.counter(name).inc(amount)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters (also the ``stats`` op's payload core).
+
+        ``requests`` counts every submit; ``memo_hits`` the ones
+        answered from the response memo; ``coalesced`` the ones that
+        piggybacked on an identical queued request; ``evaluations`` the
+        distinct evaluations dispatched.  ``requests - memo_hits -
+        coalesced - shed - deadline_expired == evaluations`` once the
+        queue is drained.  ``grid_calls``/``grid_rows`` count actual
+        multi-request ``evaluate_grid`` dispatches and their total row
+        count.
+        """
+        out = dict(self._stats)
+        out["queued"] = len(self._queue)
+        out["memo_entries"] = len(self._memo)
+        out["draining"] = self._draining
+        return out

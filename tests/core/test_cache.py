@@ -5,6 +5,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import threading
 
 import pytest
 
@@ -206,6 +207,97 @@ class TestConcurrency:
             "concurrent writers lost entries"
         )
         assert reader.stats.corrupt == 0, "concurrent writers mangled entries"
+
+
+class TestThreadSafety:
+    """One cache instance shared across threads — the serving daemon's
+    shape: request handlers and the evaluator hit the same
+    ``PersistentCache`` (and the same engine LRU) concurrently.
+    """
+
+    def test_readers_and_writers_keep_accounting_exact(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        keys = [("shared", i) for i in range(16)]
+        for key in keys:
+            cache.put(key, {"seed": key[1]})
+        reader_threads, reader_rounds = 6, 150
+        writer_threads, writer_rounds = 2, 100
+        errors = []
+
+        def read(rounds):
+            try:
+                for index in range(rounds):
+                    value = cache.get(keys[index % len(keys)])
+                    assert value is not None, "reader saw a torn entry"
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def write(rounds):
+            try:
+                for index in range(rounds):
+                    cache.put(keys[index % len(keys)], {"seed": index})
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=read, args=(reader_rounds,))
+            for _ in range(reader_threads)
+        ] + [
+            threading.Thread(target=write, args=(writer_rounds,))
+            for _ in range(writer_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        stats = cache.stats
+        assert stats.corrupt == 0
+        assert stats.misses == 0
+        assert stats.lookups == stats.hits + stats.misses
+        assert stats.lookups == reader_threads * reader_rounds
+        assert stats.writes == (
+            len(keys) + writer_threads * writer_rounds
+        )
+        assert cache.entry_count() == len(keys)
+
+    def test_concurrent_engine_evaluations_agree_and_balance(
+        self, tmp_path, bert_512
+    ):
+        """Racing threads through ``evaluate_cost`` on one --cache-dir:
+        every thread gets the same answer and the cache accounting
+        invariant survives the races (hits + misses == lookups)."""
+        accel = edge()
+        workers = 8
+        results = [None] * workers
+        errors = []
+
+        def work(index):
+            try:
+                results[index] = evaluate_cost(
+                    bert_512, Scope.LA, accel, flat_r(64)
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        with default_cache_dir(str(tmp_path)):
+            clear_evaluation_cache()
+            threads = [
+                threading.Thread(target=work, args=(i,))
+                for i in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            pcache = get_default_cache()
+            assert pcache is not None
+            stats = pcache.stats
+        assert not errors, errors
+        assert all(r is not None for r in results)
+        assert all(r == results[0] for r in results[1:])
+        assert stats.corrupt == 0
+        assert stats.lookups == stats.hits + stats.misses
 
 
 class TestDefaultPlumbing:

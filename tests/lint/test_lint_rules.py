@@ -354,6 +354,30 @@ class TestR3Determinism:
         assert "repro.obs.trace" in finding.message
         assert "spuriously invalidate" in finding.message
 
+    def test_fingerprinted_serve_module_flagged(self):
+        """The serving layer is pure transport: fingerprinting it would
+        invalidate the disk cache on every scheduler edit, so the
+        default contract must keep ``repro.serve`` excluded."""
+        from repro.lint.contracts import FINGERPRINT_EXCLUDED_PREFIXES
+
+        assert "repro.serve" in FINGERPRINT_EXCLUDED_PREFIXES
+        result = run_lint(
+            "repro.core.cache",
+            """\
+            _FINGERPRINT_MODULES = (
+                "repro.core.perf",
+                "repro.serve.scheduler",
+            )
+            """,
+            rules=[DeterminismRule()],
+            contracts=Contracts(
+                required_fingerprint_modules=frozenset({"repro.core.perf"}),
+            ),
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R3" and finding.line == 1
+        assert "repro.serve.scheduler" in finding.message
+
 
 class TestR4ConfigImmutability:
     def test_unfrozen_cache_key_dataclass_flagged(self):
