@@ -28,6 +28,14 @@ and ``coalesce_ratio`` (requests answered per engine evaluation).
 Rows of benchmarks that never touch the daemon are unchanged, and the
 new fields are strictly additive, so v2 readers remain correct as
 long as they treat unknown/absent fields as optional.
+
+Schema v4 adds the multi-chip scale-out counters: every row carries
+the accumulated :func:`~repro.core.scaleout.scaleout_totals` dict
+(``scaleout``) with ``inner_searches`` and ``partitions_pruned``
+additionally lifted to the top level, so trajectory diffs can track
+the two-level DSE's work avoidance the same way they track candidate
+pruning.  Rows of benchmarks that never run a scale-out search carry
+zeros; the fields are strictly additive over v3.
 """
 
 from __future__ import annotations
@@ -39,8 +47,9 @@ import time
 import pytest
 
 from repro.core.engine import reset_search_totals, search_totals
+from repro.core.scaleout import reset_scaleout_totals, scaleout_totals
 
-_ARTIFACT_SCHEMA = "repro-bench-trajectory/3"
+_ARTIFACT_SCHEMA = "repro-bench-trajectory/4"
 _rows = []
 _serving = {}
 
@@ -86,9 +95,11 @@ def pytest_runtest_call(item):
     parent-side totals but still records its wall time.
     """
     reset_search_totals()
+    reset_scaleout_totals()
     start = time.perf_counter()
     yield
     totals = search_totals()
+    so_totals = scaleout_totals()
     row = {
         "benchmark": item.nodeid,
         "wall_time_s": time.perf_counter() - start,
@@ -96,7 +107,10 @@ def pytest_runtest_call(item):
             totals.get("evaluated", 0) + totals.get("batch_evaluations", 0)
         ),
         "candidates_skipped": totals.get("candidates_skipped", 0),
+        "inner_searches": so_totals.get("inner_searches", 0),
+        "partitions_pruned": so_totals.get("partitions_pruned", 0),
         "search": totals,
+        "scaleout": so_totals,
     }
     serving = _serving.pop(item.nodeid, None)
     if serving is not None:

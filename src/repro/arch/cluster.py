@@ -41,12 +41,15 @@ class ClusteredAccelerator:
     slice_accel: Accelerator
     num_clusters: int
     shared_offchip_bytes_per_sec: float
+    contention: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_clusters < 1:
             raise ValueError("num_clusters must be >= 1")
         if self.shared_offchip_bytes_per_sec <= 0:
             raise ValueError("shared bandwidth must be positive")
+        if self.contention < 1.0:
+            raise ValueError("contention must be >= 1.0 (1.0 = fair share)")
 
     @property
     def total_pes(self) -> int:
@@ -56,23 +59,40 @@ class ClusteredAccelerator:
     def peak_macs_per_cycle(self) -> int:
         return self.num_clusters * self.slice_accel.peak_macs_per_cycle
 
-    def per_cluster_view(self) -> Accelerator:
-        """The accelerator one cluster sees: a fair share of the channel.
+    @property
+    def effective_share_bytes_per_sec(self) -> float:
+        """Channel bandwidth one streaming cluster actually achieves.
 
-        Under fair arbitration with all clusters streaming, each gets
-        ``1/T`` of the channel; a cluster-local cost evaluation on this
-        view therefore prices the contention, and the system's runtime
-        is the per-cluster runtime of its share of the passes (the
-        cross loop is work-balanced).
+        The fair-share figure ``shared / T`` is an upper bound: real
+        arbiters lose bandwidth to bank conflicts, row-buffer thrash
+        and scheduling bubbles once several requestors interleave.
+        ``contention`` is that derate, expressed as a divisor (1.0 =
+        ideal fair share; 1.25 = each cluster sees 25% less than its
+        fair share).  It only applies when the channel is actually
+        shared — a single cluster streams at the full channel rate.
+        """
+        if self.num_clusters == 1:
+            return self.shared_offchip_bytes_per_sec
+        return self.shared_offchip_bytes_per_sec / (
+            self.num_clusters * self.contention
+        )
+
+    def per_cluster_view(self) -> Accelerator:
+        """The accelerator one cluster sees: its share of the channel.
+
+        With all clusters streaming, each gets ``1/(T * contention)``
+        of the channel (see :attr:`effective_share_bytes_per_sec`); a
+        cluster-local cost evaluation on this view therefore prices
+        the contention, and the system's runtime is the per-cluster
+        runtime of its share of the passes (the cross loop is
+        work-balanced).
         """
         return replace(
             self.slice_accel,
             name=f"{self.slice_accel.name}-x{self.num_clusters}",
             offchip=replace(
                 self.slice_accel.offchip,
-                bandwidth_bytes_per_sec=(
-                    self.shared_offchip_bytes_per_sec / self.num_clusters
-                ),
+                bandwidth_bytes_per_sec=self.effective_share_bytes_per_sec,
             ),
         )
 

@@ -122,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
              "point's winner (incremental re-search; results are "
              "identical, only the amount of work changes)",
     )
+    parser.add_argument(
+        "--exhaustive-scaleout", action="store_true",
+        help="run the multi-chip scale-out DSE's outer level "
+             "exhaustively instead of branch-and-bound pruned "
+             "(results are identical; this is an escape hatch and an "
+             "equivalence-checking aid)",
+    )
     pipe = parser.add_argument_group("run-all mode")
     pipe.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -279,6 +286,9 @@ def _run_pipeline_mode(args) -> int:
                 batch=False if args.no_batch else None,
                 candidates=False if args.no_candidates else None,
                 warm_start=True if args.warm_start else None,
+                scaleout_exhaustive=(
+                    True if args.exhaustive_scaleout else None
+                ),
             )
     except (ValueError, ConnectionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -488,6 +498,33 @@ def _build_query_requests(args) -> List[dict]:
                     dict(base, op="cost", dataflow=d) for d in dataflows
                 ],
             }
+        elif args.op == "scaleout":
+            try:
+                chip_counts = [
+                    int(c) for c in (args.chips or "").split(",") if c.strip()
+                ]
+            except ValueError:
+                raise ValueError(
+                    "--chips needs a comma-separated list of integers"
+                ) from None
+            if not chip_counts:
+                raise ValueError("scaleout needs --chips")
+            base.update(
+                chips_per_channel=args.chips_per_channel,
+                contention=args.contention,
+            )
+            if len(chip_counts) == 1:
+                base["chips"] = chip_counts[0]
+            else:
+                # A cluster-count sweep rides the sweep op: each count
+                # becomes one scaleout sub-query through the scheduler.
+                base = {
+                    "op": "sweep",
+                    "requests": [
+                        dict(base, op="scaleout", chips=c)
+                        for c in chip_counts
+                    ],
+                }
         else:  # search
             base["objective"] = args.objective
         if args.deadline_ms is not None:
@@ -528,7 +565,8 @@ def _run_query(argv: List[str]) -> int:
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="socket timeout in seconds (default: 300)")
     parser.add_argument("--op", default="cost",
-                        choices=["ping", "stats", "cost", "search", "sweep"],
+                        choices=["ping", "stats", "cost", "search", "sweep",
+                                 "scaleout"],
                         help="single-query operation (default: cost)")
     parser.add_argument("--model", default="bert",
                         help="zoo model name (default: bert)")
@@ -545,6 +583,15 @@ def _run_query(argv: List[str]) -> int:
                              "list for sweep")
     parser.add_argument("--objective", default="runtime",
                         help="search objective (default: runtime)")
+    parser.add_argument("--chips", default=None,
+                        help="scaleout chip count, or a comma-separated "
+                             "list for a cluster-count sweep")
+    parser.add_argument("--chips-per-channel", type=int, default=1,
+                        help="chips sharing one off-chip channel "
+                             "(scaleout, default: 1)")
+    parser.add_argument("--contention", type=float, default=1.0,
+                        help="shared-channel arbitration derate "
+                             "(scaleout, default: 1.0)")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request deadline in milliseconds")
     args = parser.parse_args(argv)
@@ -612,6 +659,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     batch = False if args.no_batch else None
     candidates = False if args.no_candidates else None
     warm_start = True if args.warm_start else None
+    scaleout_exhaustive = True if args.exhaustive_scaleout else None
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
@@ -662,12 +710,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 name, jobs=args.jobs, batch=batch,
                                 candidates=candidates,
                                 warm_start=warm_start,
+                                scaleout_exhaustive=scaleout_exhaustive,
                             )
                         )
                     else:
                         report = run_experiment(
                             name, jobs=args.jobs, batch=batch,
                             candidates=candidates, warm_start=warm_start,
+                            scaleout_exhaustive=scaleout_exhaustive,
                         )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)

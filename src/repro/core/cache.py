@@ -107,6 +107,11 @@ _FINGERPRINT_MODULES: Tuple[str, ...] = (
     "repro.arch.noc",
     "repro.arch.sfu",
     "repro.arch.cluster",
+    # The scale-out tier: cached ``scaleout-memo`` winners embed the
+    # fabric collective formulas and the partition/sharding model, so
+    # editing either must invalidate them.
+    "repro.arch.fabric",
+    "repro.core.scaleout",
 )
 
 

@@ -1,0 +1,775 @@
+"""Two-level scale-out DSE: cross-chip partition x per-chip dataflow.
+
+The single-chip engine (:mod:`repro.core.engine`) answers "what is the
+best FLAT dataflow on this die"; this module answers the next question
+up — "how should an attention workload be cut across ``T`` dies, and
+what does the fabric charge for the cut".  The space is the product of
+
+* a **partition** — batch x head x sequence sharding ways whose
+  product is the chip count (:func:`enumerate_partitions`),
+* a **collective schedule** — how the partition's induced collectives
+  are laid onto the fabric (:class:`~repro.arch.fabric.CollectiveSchedule`),
+* and, per partition, the full per-chip FLAT configuration space.
+
+Scoring is hierarchical.  The *outer* level is batch-scored on a
+structure-of-arrays grid (:func:`evaluate_partition_grid`, the
+``batch.evaluate_grid`` idiom): every partition's induced collective
+payloads, fabric cycles per schedule, and admissible lower bounds are
+computed in vectorized NumPy with no inner search.  The *inner* level
+— the per-chip search — is delegated to the existing candidate-gated
+engine via :func:`repro.core.dse.search`, warm-started between
+neighboring partitions and chip counts, and only runs for outer points
+that survive branch-and-bound against the incumbent.
+
+The outer bound is admissible by construction:
+
+* **compute floor** — min over dataflow families of
+  :func:`repro.core.candidates.family_lower_bound` on the sharded
+  workload: no per-chip dataflow beats the best family floor;
+* **fabric term** — the point's *exact* collective cycles (the
+  schedule is fixed at the outer level, so nothing is unknown), which
+  dominates the schedule-independent bisection floor
+  (:func:`~repro.arch.fabric.collective_floor_s`, kept on the grid for
+  reporting and admissibility tests).
+
+Chip and fabric phases are modeled as serialized (no overlap of the
+collective with compute), so ``total = chip + fabric`` and the bound
+``compute_floor + fabric`` never exceeds the truth.
+
+Selection minimizes ``(total cycles, enumeration index)`` over the
+evaluated points.  A pruned point's true value is >= its bound > the
+incumbent >= the final optimum, so it can neither win nor displace a
+tie — the hierarchical path returns the exact point the exhaustive
+reference (``exhaustive=True`` / ``--exhaustive-scaleout``) returns,
+bytes included; CI diffs the two.
+
+Winners are memoized through the engine's LRU and the persistent disk
+cache under a ``scaleout-memo`` key; this module and
+:mod:`repro.arch.fabric` are in the cache fingerprint set, so editing
+either formula invalidates stored winners.
+
+Sharding model (induced collectives)
+------------------------------------
+* **batch** — embarrassingly parallel; no collective.
+* **head** — each chip owns a head shard and produces partial sums of
+  the row-parallel output projection: an **all-reduce** of the output
+  activations (``B_shard x Nq_shard x D`` elements) over the head
+  group.
+* **sequence** — each chip owns a Q-row shard but needs every K/V
+  column: an **all-gather** of K and V (``2 x B_shard x H_shard x
+  Nkv x d_head`` elements) over the sequence group.
+
+Shards use ceiling division (the slowest — largest — shard sets the
+pace), and concurrent groups are assumed to map to disjoint fabric
+regions, so one group's collective time is charged.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.cluster import ClusteredAccelerator
+from repro.arch.fabric import (
+    CollectiveKind,
+    CollectiveSchedule,
+    FabricSpec,
+    collective_floor_s,
+    collective_time_s,
+)
+from repro.core.candidates import Incumbent, family_lower_bound, make_incumbent
+from repro.core.dataflow import Dataflow
+from repro.core.dse import Objective, SearchSpace, enumerate_families, search
+from repro.core.perf import PerfOptions, ScopeCost
+from repro.ops.attention import AttentionConfig, Scope
+
+__all__ = [
+    "Partition",
+    "Collective",
+    "ScaleoutSystem",
+    "PartitionGrid",
+    "ScaleoutPoint",
+    "ScaleoutStats",
+    "ScaleoutResult",
+    "enumerate_partitions",
+    "shard_config",
+    "induced_collectives",
+    "evaluate_partition_grid",
+    "search_scaleout",
+    "sweep_chip_counts",
+    "scaleout_totals",
+    "reset_scaleout_totals",
+    "get_default_scaleout_exhaustive",
+    "set_default_scaleout_exhaustive",
+    "default_scaleout_exhaustive",
+    "DEFAULT_SCHEDULES",
+]
+
+DEFAULT_SCHEDULES: Tuple[CollectiveSchedule, ...] = (
+    CollectiveSchedule.RING,
+    CollectiveSchedule.TREE,
+)
+
+
+# ----------------------------------------------------------------------
+# partition space
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Partition:
+    """One way of cutting the workload across ``chips`` dies."""
+
+    chips: int
+    batch_ways: int
+    head_ways: int
+    seq_ways: int
+
+    def __post_init__(self) -> None:
+        ways = (self.batch_ways, self.head_ways, self.seq_ways)
+        if self.chips < 1 or any(w < 1 for w in ways):
+            raise ValueError("chips and sharding ways must be >= 1")
+        if self.batch_ways * self.head_ways * self.seq_ways != self.chips:
+            raise ValueError("sharding ways must multiply to the chip count")
+
+    @property
+    def label(self) -> str:
+        return f"b{self.batch_ways}-h{self.head_ways}-s{self.seq_ways}"
+
+
+def _divisors(n: int) -> List[int]:
+    small, large = [], []
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+    return small + large[::-1]
+
+
+def enumerate_partitions(
+    cfg: AttentionConfig, chips: int
+) -> Tuple[Partition, ...]:
+    """Every feasible partition of ``cfg`` over ``chips``, in order.
+
+    Feasible means no sharding dimension is cut finer than its extent
+    (a shard must hold at least one batch element / head / Q row).
+    Enumeration order — batch ways ascending, then head ways ascending
+    (sequence ways are determined) — is the outer level's tie-break
+    order, mirrored exactly by the exhaustive reference.
+    """
+    if chips < 1:
+        raise ValueError("chips must be >= 1")
+    parts: List[Partition] = []
+    for pb in _divisors(chips):
+        if pb > cfg.batch:
+            continue
+        rest = chips // pb
+        for ph in _divisors(rest):
+            ps = rest // ph
+            if ph > cfg.heads or ps > cfg.seq_q:
+                continue
+            parts.append(Partition(chips, pb, ph, ps))
+    return tuple(parts)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def shard_config(cfg: AttentionConfig, partition: Partition) -> AttentionConfig:
+    """The per-chip workload one shard of ``partition`` computes.
+
+    Ceiling division throughout — with non-divisible extents the
+    largest shard sets the pace.  A head shard keeps ``d_head`` (so
+    ``d_model`` shrinks with the head count and divisibility is
+    preserved); a sequence shard cuts Q rows only, leaving ``seq_kv``
+    whole — the gathered K/V is what the induced all-gather pays for.
+    """
+    heads = _ceil_div(cfg.heads, partition.head_ways)
+    return replace(
+        cfg,
+        name=f"{cfg.name}/{partition.label}",
+        batch=_ceil_div(cfg.batch, partition.batch_ways),
+        heads=heads,
+        d_model=heads * cfg.d_head,
+        d_ff=_ceil_div(cfg.d_ff, partition.head_ways),
+        seq_q=_ceil_div(cfg.seq_q, partition.seq_ways),
+    )
+
+
+@dataclass(frozen=True)
+class Collective:
+    """One induced fabric collective: what, over how many, how big."""
+
+    kind: CollectiveKind
+    group: int
+    payload_bytes: int
+
+
+def induced_collectives(
+    cfg: AttentionConfig,
+    partition: Partition,
+    bytes_per_element: int,
+) -> Tuple[Collective, ...]:
+    """The collectives ``partition`` forces onto the fabric.
+
+    See the module docstring for the sharding model.  Payloads are
+    aggregate bytes across the group, sized from the (ceil-divided)
+    shard the group's chips actually hold.
+    """
+    shard = shard_config(cfg, partition)
+    out: List[Collective] = []
+    if partition.seq_ways > 1:
+        kv_bytes = (
+            2 * shard.batch * shard.heads * cfg.seq_kv * cfg.d_head
+            * bytes_per_element
+        )
+        out.append(
+            Collective(CollectiveKind.ALL_GATHER, partition.seq_ways,
+                       kv_bytes)
+        )
+    if partition.head_ways > 1:
+        out_bytes = (
+            shard.batch * shard.seq_q * cfg.d_model * bytes_per_element
+        )
+        out.append(
+            Collective(CollectiveKind.ALL_REDUCE, partition.head_ways,
+                       out_bytes)
+        )
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# the system under search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScaleoutSystem:
+    """``T`` identical chips on a fabric, with shared memory channels.
+
+    ``chips_per_channel`` chips share one off-chip channel of the
+    chip's nominal bandwidth (Simba-style: SRAM scales with silicon,
+    DRAM pins do not), derated by ``channel_contention`` — the
+    :class:`~repro.arch.cluster.ClusteredAccelerator` arbitration
+    factor (1.0 = ideal fair share).
+    """
+
+    chip: Accelerator
+    fabric: FabricSpec = FabricSpec()
+    chips_per_channel: int = 1
+    channel_contention: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.chips_per_channel < 1:
+            raise ValueError("chips_per_channel must be >= 1")
+        if self.channel_contention < 1.0:
+            raise ValueError("channel_contention must be >= 1.0")
+
+    def chip_view(self) -> Accelerator:
+        """What one chip sees once the channel sharing is priced in."""
+        if self.chips_per_channel == 1 and self.channel_contention == 1.0:
+            return self.chip
+        return ClusteredAccelerator(
+            slice_accel=self.chip,
+            num_clusters=self.chips_per_channel,
+            shared_offchip_bytes_per_sec=(
+                self.chip.offchip.bandwidth_bytes_per_sec
+            ),
+            contention=self.channel_contention,
+        ).per_cluster_view()
+
+    def fingerprint(self) -> tuple:
+        """Cache identity (name-independent, like the engine's)."""
+        from repro.core.engine import accelerator_fingerprint
+
+        return (
+            accelerator_fingerprint(self.chip),
+            self.fabric,
+            self.chips_per_channel,
+            self.channel_contention,
+        )
+
+
+# ----------------------------------------------------------------------
+# outer-level structure-of-arrays grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionGrid:
+    """Vectorized outer-level scores for one (workload, system, T).
+
+    Axis 0 is the partition (enumeration order), axis 1 the schedule.
+    ``fabric_cycles[p, s]`` is bit-identical to summing
+    :func:`~repro.arch.fabric.collective_time_s` over the partition's
+    induced collectives (asserted by ``tests/core/test_scaleout.py``);
+    ``fabric_floor_cycles[p]`` is the schedule-independent admissible
+    floor, and ``bound_cycles[p, s] = compute_floor_cycles[p] +
+    fabric_cycles[p, s]`` is the branch-and-bound gate.
+    """
+
+    partitions: Tuple[Partition, ...]
+    schedules: Tuple[CollectiveSchedule, ...]
+    collective_bytes: np.ndarray  # (P,) aggregate payload bytes
+    fabric_cycles: np.ndarray  # (P, S)
+    fabric_floor_cycles: np.ndarray  # (P,)
+    compute_floor_cycles: np.ndarray  # (P,)
+    bound_cycles: np.ndarray  # (P, S)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.partitions) * len(self.schedules)
+
+
+def _compute_floor_cycles(
+    cfg: AttentionConfig,
+    view: Accelerator,
+    scope: Scope,
+    space: SearchSpace,
+    options: PerfOptions,
+) -> float:
+    """Admissible floor on the best per-chip runtime for ``cfg``."""
+    return min(
+        family_lower_bound(
+            Objective.RUNTIME, cfg, scope, view, family, space, options
+        )
+        for family in enumerate_families(cfg, space)
+    )
+
+
+def evaluate_partition_grid(
+    cfg: AttentionConfig,
+    system: ScaleoutSystem,
+    chips: int,
+    schedules: Sequence[CollectiveSchedule] = DEFAULT_SCHEDULES,
+    scope: Scope = Scope.LA,
+    space: SearchSpace = SearchSpace(),
+    options: PerfOptions = PerfOptions(),
+) -> PartitionGrid:
+    """Batch-score the outer level without running any inner search.
+
+    The fabric side is pure array arithmetic over the partition table
+    (payload bytes, group sizes -> alpha-beta terms per schedule); the
+    compute floors are closed-form family bounds, computed once per
+    *distinct* shard config (partitions that shard to the same
+    workload share one floor).
+    """
+    partitions = enumerate_partitions(cfg, chips)
+    if not partitions:
+        raise ValueError(
+            f"no feasible partition of {cfg.name!r} across {chips} chips"
+        )
+    if not schedules:
+        raise ValueError("at least one collective schedule is required")
+    e = system.chip.bytes_per_element
+    freq = system.chip.frequency_hz
+    p = len(partitions)
+
+    seq_ways = np.array([t.seq_ways for t in partitions], dtype=np.float64)
+    head_ways = np.array([t.head_ways for t in partitions], dtype=np.float64)
+    kv_bytes = np.zeros(p)
+    out_bytes = np.zeros(p)
+    for i, part in enumerate(partitions):
+        for coll in induced_collectives(cfg, part, e):
+            if coll.kind is CollectiveKind.ALL_GATHER:
+                kv_bytes[i] = coll.payload_bytes
+            else:
+                out_bytes[i] = coll.payload_bytes
+
+    link = system.fabric.link_bytes_per_sec
+    hop = system.fabric.hop_latency_s
+
+    def _time_s(schedule, payload, ways, phases):
+        frac = np.where(ways > 1, (ways - 1) / np.maximum(ways, 1), 0.0)
+        if schedule is CollectiveSchedule.RING:
+            bw = frac * payload / (2.0 * link)
+            steps = ways - 1
+        else:
+            bw = frac * payload / link
+            steps = np.ceil(np.log2(np.maximum(ways, 1)))
+        active = (ways > 1) & (payload > 0)
+        return np.where(active, phases * (bw + steps * hop), 0.0)
+
+    def _floor_s(payload, ways, phases):
+        frac = np.where(ways > 1, (ways - 1) / np.maximum(ways, 1), 0.0)
+        link_floor = frac * payload / (2.0 * link)
+        bisect = np.array([
+            system.fabric.bisection_bytes_per_sec(int(w)) if w > 1 else 1.0
+            for w in ways
+        ])
+        bisect_floor = (payload / 2.0) / bisect
+        lat_floor = np.ceil(np.log2(np.maximum(ways, 1))) * hop
+        active = (ways > 1) & (payload > 0)
+        return np.where(
+            active,
+            phases * np.maximum(np.maximum(link_floor, bisect_floor),
+                                lat_floor),
+            0.0,
+        )
+
+    fabric_cycles = np.empty((p, len(schedules)))
+    for si, schedule in enumerate(schedules):
+        total_s = (
+            _time_s(schedule, kv_bytes, seq_ways, 1)
+            + _time_s(schedule, out_bytes, head_ways, 2)
+        )
+        fabric_cycles[:, si] = total_s * freq
+    fabric_floor_cycles = (
+        _floor_s(kv_bytes, seq_ways, 1) + _floor_s(out_bytes, head_ways, 2)
+    ) * freq
+
+    view = system.chip_view()
+    floors: Dict[AttentionConfig, float] = {}
+    compute_floor = np.empty(p)
+    for i, part in enumerate(partitions):
+        shard = shard_config(cfg, part)
+        key = replace(shard, name=cfg.name)  # dedupe ignores the label
+        if key not in floors:
+            floors[key] = _compute_floor_cycles(
+                key, view, scope, space, options
+            )
+        compute_floor[i] = floors[key]
+
+    return PartitionGrid(
+        partitions=partitions,
+        schedules=tuple(schedules),
+        collective_bytes=kv_bytes + out_bytes,
+        fabric_cycles=fabric_cycles,
+        fabric_floor_cycles=fabric_floor_cycles,
+        compute_floor_cycles=compute_floor,
+        bound_cycles=compute_floor[:, None] + fabric_cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# search accounting
+# ----------------------------------------------------------------------
+@dataclass
+class ScaleoutStats:
+    """Work accounting of one :func:`search_scaleout` call.
+
+    Invariant (when ``memo_hits == 0``): every enumerated outer point
+    is either evaluated or pruned —
+    ``outer_enumerated == outer_evaluated + partitions_pruned``.
+    ``inner_searches`` counts actual engine invocations; schedules
+    sharing a partition reuse its inner result (``inner_reused``).
+    """
+
+    outer_enumerated: int = 0
+    outer_evaluated: int = 0
+    partitions_pruned: int = 0
+    inner_searches: int = 0
+    inner_reused: int = 0
+    memo_hits: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "outer_enumerated": self.outer_enumerated,
+            "outer_evaluated": self.outer_evaluated,
+            "partitions_pruned": self.partitions_pruned,
+            "inner_searches": self.inner_searches,
+            "inner_reused": self.inner_reused,
+            "memo_hits": self.memo_hits,
+        }
+
+
+_TOTALS_ZERO = ScaleoutStats().as_dict()
+_totals = dict(_TOTALS_ZERO)
+_TOTALS_LOCK = threading.Lock()
+
+
+def reset_scaleout_totals() -> None:
+    """Zero the per-process accumulated :class:`ScaleoutStats`."""
+    with _TOTALS_LOCK:
+        _totals.update(_TOTALS_ZERO)
+
+
+def scaleout_totals() -> dict:
+    """Accumulated stats of every scale-out search since the reset."""
+    with _TOTALS_LOCK:
+        return dict(_totals)
+
+
+def _accumulate(stats: ScaleoutStats) -> None:
+    with _TOTALS_LOCK:
+        for key, value in stats.as_dict().items():
+            _totals[key] += value
+    try:
+        from repro.obs.metrics import active
+    except ImportError:  # pragma: no cover - obs is stdlib-only
+        return
+    registry = active()
+    if registry is not None:
+        registry.counter("scaleout.inner_searches").inc(stats.inner_searches)
+        registry.counter("scaleout.partitions_pruned").inc(
+            stats.partitions_pruned
+        )
+        registry.counter("scaleout.memo_hits").inc(stats.memo_hits)
+
+
+# ----------------------------------------------------------------------
+# exhaustive-reference toggle (--exhaustive-scaleout plumbing)
+# ----------------------------------------------------------------------
+_default_exhaustive = False
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_default_scaleout_exhaustive() -> bool:
+    return _default_exhaustive
+
+
+def set_default_scaleout_exhaustive(value: bool) -> bool:
+    """Set the process default; returns the previous setting."""
+    global _default_exhaustive
+    with _DEFAULT_LOCK:
+        previous = _default_exhaustive
+        _default_exhaustive = bool(value)
+    return previous
+
+
+@contextmanager
+def default_scaleout_exhaustive(exhaustive: Optional[bool]) -> Iterator[None]:
+    """Temporarily select the exhaustive outer path (CLI plumbing).
+
+    ``None`` leaves the default untouched, so an optional flag can be
+    passed straight through.
+    """
+    if exhaustive is None:
+        yield
+        return
+    previous = set_default_scaleout_exhaustive(exhaustive)
+    try:
+        yield
+    finally:
+        set_default_scaleout_exhaustive(previous)
+
+
+# ----------------------------------------------------------------------
+# the two-level search
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScaleoutPoint:
+    """One evaluated outer point: partition, schedule, per-chip winner."""
+
+    partition: Partition
+    schedule: CollectiveSchedule
+    dataflow: Dataflow
+    chip_cost: ScopeCost
+    chip_cycles: float
+    fabric_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.chip_cycles + self.fabric_cycles
+
+
+@dataclass(frozen=True)
+class ScaleoutResult:
+    """Outcome of one :func:`search_scaleout`.
+
+    ``incumbent`` is the winner's per-chip incumbent, for warm-starting
+    the neighboring chip count (``None`` when warm-starting is off or
+    the result came from the memo).
+    """
+
+    best: ScaleoutPoint
+    chips: int
+    grid: PartitionGrid
+    stats: ScaleoutStats
+    incumbent: Optional[Incumbent] = None
+
+
+def _memo_key(
+    cfg: AttentionConfig,
+    system: ScaleoutSystem,
+    chips: int,
+    schedules: Tuple[CollectiveSchedule, ...],
+    scope: Scope,
+    space: SearchSpace,
+    options: PerfOptions,
+) -> tuple:
+    return (
+        "scaleout-memo",
+        cfg,
+        system.fingerprint(),
+        chips,
+        tuple(s.value for s in schedules),
+        scope,
+        space,
+        options,
+    )
+
+
+def search_scaleout(
+    cfg: AttentionConfig,
+    system: ScaleoutSystem,
+    chips: int,
+    scope: Scope = Scope.LA,
+    space: SearchSpace = SearchSpace(),
+    options: PerfOptions = PerfOptions(),
+    schedules: Sequence[CollectiveSchedule] = DEFAULT_SCHEDULES,
+    exhaustive: Optional[bool] = None,
+    warm_start: Optional[Incumbent] = None,
+    use_memo: bool = True,
+) -> ScaleoutResult:
+    """Find the best (partition, schedule, per-chip dataflow) for ``T``.
+
+    ``exhaustive=None`` follows the process default
+    (:func:`default_scaleout_exhaustive`); the hierarchical path prunes
+    outer points whose admissible bound strictly exceeds the incumbent
+    before their inner search ever runs, and both paths return the
+    identical winner (see module docstring).  ``warm_start`` seeds the
+    first inner search with a neighboring sweep's winner when
+    warm-starting is enabled on the default engine; winners also land
+    in the engine's LRU and the persistent disk cache.
+    """
+    from repro.core.cache import get_default_cache
+    from repro.core.engine import _CACHE, get_default_engine
+
+    if exhaustive is None:
+        exhaustive = get_default_scaleout_exhaustive()
+    schedules = tuple(schedules)
+    stats = ScaleoutStats()
+    grid = evaluate_partition_grid(
+        cfg, system, chips, schedules, scope, space, options
+    )
+    n_sched = len(schedules)
+    stats.outer_enumerated = grid.num_points
+
+    memo_key = _memo_key(cfg, system, chips, schedules, scope, space, options)
+    pcache = get_default_cache() if use_memo else None
+    if use_memo:
+        best = _CACHE.get(memo_key)
+        if best is None and pcache is not None:
+            best = pcache.get(memo_key)
+            if best is not None:
+                _CACHE.put(memo_key, best)
+        if best is not None:
+            stats.memo_hits = 1
+            _accumulate(stats)
+            return ScaleoutResult(best=best, chips=chips, grid=grid,
+                                  stats=stats)
+
+    engine_defaults = get_default_engine()
+    warm_enabled = engine_defaults.warm_start
+    seed = warm_start if warm_enabled else None
+    view = system.chip_view()
+    inner_cache: Dict[int, tuple] = {}  # partition index -> (result, cycles)
+
+    def _inner(p_idx: int) -> tuple:
+        nonlocal seed
+        cached = inner_cache.get(p_idx)
+        if cached is not None:
+            stats.inner_reused += 1
+            return cached
+        shard = shard_config(cfg, grid.partitions[p_idx])
+        result = search(
+            shard,
+            view,
+            scope=scope,
+            objective=Objective.RUNTIME,
+            space=space,
+            options=options,
+            retain_points=False,
+            warm_start=seed,
+        )
+        stats.inner_searches += 1
+        if warm_enabled:
+            seed = make_incumbent(result, scope, view, options)
+        entry = (result, float(result.best.cost.total_cycles))
+        inner_cache[p_idx] = entry
+        return entry
+
+    # Flat outer enumeration order: partition-major, schedule-minor.
+    flat_bounds = grid.bound_cycles.reshape(-1)
+    if exhaustive:
+        visit = list(range(grid.num_points))
+    else:
+        # Best-bound-first; index tie-break keeps the visit order
+        # deterministic (the *selection* tie-break is handled below).
+        visit = sorted(range(grid.num_points),
+                       key=lambda i: (flat_bounds[i], i))
+
+    best_value = math.inf
+    best_index = -1
+    best_point: Optional[ScaleoutPoint] = None
+    best_result = None
+    for flat in visit:
+        if not exhaustive and flat_bounds[flat] > best_value:
+            # Bounds are sorted: this and every later point is pruned.
+            stats.partitions_pruned += grid.num_points - stats.outer_evaluated
+            break
+        p_idx, s_idx = divmod(flat, n_sched)
+        result, chip_cycles = _inner(p_idx)
+        stats.outer_evaluated += 1
+        total = chip_cycles + float(grid.fabric_cycles[p_idx, s_idx])
+        if (total, flat) < (best_value, best_index):
+            best_value = total
+            best_index = flat
+            best_result = result
+            best_point = ScaleoutPoint(
+                partition=grid.partitions[p_idx],
+                schedule=schedules[s_idx],
+                dataflow=result.best.dataflow,
+                chip_cost=result.best.cost,
+                chip_cycles=chip_cycles,
+                fabric_cycles=float(grid.fabric_cycles[p_idx, s_idx]),
+            )
+
+    assert best_point is not None and best_result is not None
+    if use_memo:
+        _CACHE.put(memo_key, best_point)
+        if pcache is not None:
+            pcache.put(memo_key, best_point)
+    incumbent = (
+        make_incumbent(best_result, scope, view, options)
+        if warm_enabled
+        else None
+    )
+    _accumulate(stats)
+    return ScaleoutResult(
+        best=best_point,
+        chips=chips,
+        grid=grid,
+        stats=stats,
+        incumbent=incumbent,
+    )
+
+
+def sweep_chip_counts(
+    cfg: AttentionConfig,
+    system: ScaleoutSystem,
+    chip_counts: Sequence[int],
+    scope: Scope = Scope.LA,
+    space: SearchSpace = SearchSpace(),
+    options: PerfOptions = PerfOptions(),
+    schedules: Sequence[CollectiveSchedule] = DEFAULT_SCHEDULES,
+    exhaustive: Optional[bool] = None,
+) -> List[ScaleoutResult]:
+    """Run :func:`search_scaleout` at each chip count, warm-chaining.
+
+    Each count's inner searches are seeded with the previous count's
+    winning per-chip incumbent (a no-op unless the default engine has
+    warm-starting enabled) — the fig8-sweep idiom of
+    :func:`repro.analysis.utilization.buffer_sweep` one level up.
+    """
+    results: List[ScaleoutResult] = []
+    warm: Optional[Incumbent] = None
+    for chips in chip_counts:
+        result = search_scaleout(
+            cfg,
+            system,
+            chips,
+            scope=scope,
+            space=space,
+            options=options,
+            schedules=schedules,
+            exhaustive=exhaustive,
+            warm_start=warm,
+        )
+        if result.incumbent is not None:
+            warm = result.incumbent
+        results.append(result)
+    return results

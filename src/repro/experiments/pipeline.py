@@ -125,11 +125,13 @@ def _execute(name: str, jobs: Optional[int],
              batch: Optional[bool] = None,
              trace: bool = False,
              candidates: Optional[bool] = None,
-             warm_start: Optional[bool] = None) -> ExperimentRun:
+             warm_start: Optional[bool] = None,
+             scaleout_exhaustive: Optional[bool] = None) -> ExperimentRun:
     """Run one experiment; importable at top level so pools can pickle it.
 
     ``cache_dir``, the engine knobs (``batch``, ``candidates``,
-    ``warm_start``) and ``trace`` are threaded explicitly (not
+    ``warm_start``, ``scaleout_exhaustive``) and ``trace`` are
+    threaded explicitly (not
     inherited) so the pipeline behaves identically under fork and spawn
     start methods.  The search-totals accumulator is scoped: measuring
     this experiment's DSE work leaves the caller's totals untouched.
@@ -151,7 +153,8 @@ def _execute(name: str, jobs: Optional[int],
         start = time.perf_counter()
         try:
             report = run_experiment(name, jobs=jobs, candidates=candidates,
-                                    warm_start=warm_start)
+                                    warm_start=warm_start,
+                                    scaleout_exhaustive=scaleout_exhaustive)
             status = "ok"
         except Exception as exc:  # noqa: BLE001 - one job must not kill the run
             report = f"{type(exc).__name__}: {exc}"
@@ -191,6 +194,7 @@ def run_pipeline(
     batch: Optional[bool] = None,
     candidates: Optional[bool] = None,
     warm_start: Optional[bool] = None,
+    scaleout_exhaustive: Optional[bool] = None,
 ) -> PipelineResult:
     """Run ``names`` (default: the whole registry) as parallel jobs.
 
@@ -203,9 +207,11 @@ def run_pipeline(
     ``batch`` toggles the vectorized scoring backend inside every
     worker (``--no-batch`` passes ``False``), ``candidates`` the
     generated branch-and-bound front end (``--no-candidates`` passes
-    ``False``) and ``warm_start`` neighbor-seeded sweeps
-    (``--warm-start`` passes ``True``); ``None`` keeps the respective
-    default.  Reports are byte-identical under every combination.
+    ``False``), ``warm_start`` neighbor-seeded sweeps
+    (``--warm-start`` passes ``True``) and ``scaleout_exhaustive`` the
+    exhaustive outer scale-out reference (``--exhaustive-scaleout``
+    passes ``True``); ``None`` keeps the respective default.  Reports
+    are byte-identical under every combination.
 
     A failing experiment is reported with ``status="error"`` and does
     not abort the others — including an experiment whose worker
@@ -244,7 +250,7 @@ def run_pipeline(
     if workers == 1:
         for name in selected:
             run = _execute(name, jobs, cache_dir, batch, trace,
-                           candidates, warm_start)
+                           candidates, warm_start, scaleout_exhaustive)
             outcomes[name] = run
             done += 1
             if progress is not None:
@@ -258,7 +264,8 @@ def run_pipeline(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
                 pool.submit(_execute, name, jobs, cache_dir, batch, trace,
-                            candidates, warm_start): name
+                            candidates, warm_start,
+                            scaleout_exhaustive): name
                 for name in selected
             }
             while pending:
@@ -279,7 +286,8 @@ def run_pipeline(
                         progress(run, done, len(selected))
         for name in sorted(lost, key=selected.index):
             run = _execute_isolated(name, jobs, cache_dir, batch, trace,
-                                    candidates, warm_start)
+                                    candidates, warm_start,
+                                    scaleout_exhaustive)
             _merge_obs(run)
             outcomes[name] = run
             done += 1
@@ -389,7 +397,9 @@ def _execute_isolated(name: str, jobs: Optional[int],
                       batch: Optional[bool],
                       trace: bool,
                       candidates: Optional[bool] = None,
-                      warm_start: Optional[bool] = None) -> ExperimentRun:
+                      warm_start: Optional[bool] = None,
+                      scaleout_exhaustive: Optional[bool] = None,
+                      ) -> ExperimentRun:
     """Re-run one job lost to a broken pool, in a pool of its own.
 
     ``BrokenProcessPool`` cannot name its casualty, so every lost job
@@ -405,7 +415,7 @@ def _execute_isolated(name: str, jobs: Optional[int],
         with ProcessPoolExecutor(max_workers=1) as pool:
             return pool.submit(
                 _execute, name, jobs, cache_dir, batch, trace,
-                candidates, warm_start,
+                candidates, warm_start, scaleout_exhaustive,
             ).result()
     except BrokenProcessPool:
         return ExperimentRun(

@@ -19,6 +19,7 @@ from repro.core.engine import (
     default_jobs,
     default_warm_start,
 )
+from repro.core.scaleout import default_scaleout_exhaustive
 from repro.obs.trace import span as _span
 from repro.experiments import (
     ext_batch,
@@ -163,7 +164,8 @@ def experiment_names() -> List[str]:
 def run_experiment(name: str, jobs: Optional[int] = None,
                    batch: Optional[bool] = None,
                    candidates: Optional[bool] = None,
-                   warm_start: Optional[bool] = None) -> str:
+                   warm_start: Optional[bool] = None,
+                   scaleout_exhaustive: Optional[bool] = None) -> str:
     """Run one registered experiment and return its report.
 
     ``jobs`` sets the DSE engine's worker-process count for the
@@ -172,9 +174,12 @@ def run_experiment(name: str, jobs: Optional[int] = None,
     ``candidates`` toggles the generated branch-and-bound front end
     (``--no-candidates`` passes ``False``); ``warm_start`` opts sweep
     drivers into neighbor-seeded incremental re-search
-    (``--warm-start`` passes ``True``).  ``None`` keeps the respective
-    current default.  None of these change report bytes — only the
-    amount of work (see ``docs/search_engine.md``).
+    (``--warm-start`` passes ``True``); ``scaleout_exhaustive``
+    selects the exhaustive outer scale-out path over branch-and-bound
+    (``--exhaustive-scaleout`` passes ``True``).  ``None`` keeps the
+    respective current default.  None of these change report bytes —
+    only the amount of work (see ``docs/search_engine.md`` and
+    ``docs/scaleout.md``).
     """
     try:
         runner = EXPERIMENTS[name]
@@ -184,6 +189,7 @@ def run_experiment(name: str, jobs: Optional[int] = None,
         ) from None
     with default_jobs(jobs), default_batch(batch), \
             default_candidates(candidates), default_warm_start(warm_start), \
+            default_scaleout_exhaustive(scaleout_exhaustive), \
             _span("experiment", name=name):
         return runner()
 
@@ -191,12 +197,14 @@ def run_experiment(name: str, jobs: Optional[int] = None,
 def run_experiment_raw(name: str, jobs: Optional[int] = None,
                        batch: Optional[bool] = None,
                        candidates: Optional[bool] = None,
-                       warm_start: Optional[bool] = None) -> object:
+                       warm_start: Optional[bool] = None,
+                       scaleout_exhaustive: Optional[bool] = None) -> object:
     """Run one experiment and return its typed rows (for JSON export).
 
     Accepts the same engine knobs as :func:`run_experiment` (``jobs``,
-    ``batch``, ``candidates``, ``warm_start``); ``None`` keeps the
-    respective current default.
+    ``batch``, ``candidates``, ``warm_start``,
+    ``scaleout_exhaustive``); ``None`` keeps the respective current
+    default.
     """
     try:
         runner = RAW_EXPERIMENTS[name]
@@ -207,5 +215,6 @@ def run_experiment_raw(name: str, jobs: Optional[int] = None,
         ) from None
     with default_jobs(jobs), default_batch(batch), \
             default_candidates(candidates), default_warm_start(warm_start), \
+            default_scaleout_exhaustive(scaleout_exhaustive), \
             _span("experiment", name=name, raw=True):
         return runner()

@@ -129,7 +129,11 @@ SCALAR_FLAG_PARAMS: FrozenSet[str] = frozenset({
 #: cache *enumeration indices* — an index is only meaningful while the
 #: family enumeration/expansion order that produced it is unchanged.
 #: The energy *tables* stay out on purpose: callers re-derive joules
-#: from the cached counts.
+#: from the cached counts.  The scale-out tier (``repro.arch.fabric``,
+#: ``repro.core.scaleout``) is required for the same reason as
+#: dse/candidates: the disk cache stores ``scaleout-memo`` winners
+#: whose identity embeds the collective cost formulas and the
+#: partition enumeration/sharding model.
 REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
     "repro.core.perf",
     "repro.core.footprint",
@@ -138,6 +142,7 @@ REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
     "repro.core.dataflow",
     "repro.core.dse",
     "repro.core.candidates",
+    "repro.core.scaleout",
     "repro.energy.model",
     "repro.ops.attention",
     "repro.ops.operator",
@@ -148,6 +153,7 @@ REQUIRED_FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
     "repro.arch.noc",
     "repro.arch.sfu",
     "repro.arch.cluster",
+    "repro.arch.fabric",
 })
 
 #: R3 — module prefixes that must *never* appear in the fingerprint

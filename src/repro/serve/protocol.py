@@ -47,10 +47,12 @@ from repro.arch.config_io import (
     dataflow_to_dict,
     workload_from_dict,
 )
+from repro.arch.fabric import FabricKind, FabricSpec
 from repro.core.dataflow import Dataflow
 from repro.core.dse import DSEResult, Objective
 from repro.core.engine import accelerator_fingerprint
 from repro.core.perf import ScopeCost
+from repro.core.scaleout import ScaleoutResult, ScaleoutSystem
 from repro.energy.model import energy_report
 from repro.ops.attention import AttentionConfig, Scope
 
@@ -69,6 +71,7 @@ __all__ = [
     "cost_payload",
     "grid_payloads",
     "search_payload",
+    "scaleout_payload",
 ]
 
 #: Bump when the request or response layout changes.
@@ -111,12 +114,13 @@ class Draining(ProtocolError):
 class Query:
     """One resolved, hashable unit of schedulable work.
 
-    ``kind`` is ``"cost"`` (needs ``dataflow``) or ``"search"`` (needs
-    ``objective``).  Hashability is what the scheduler's deduplication
-    and memoization key on; the accelerator participates through its
-    cost-observable fingerprint so two accelerators differing only in
-    name coalesce (their costs — and therefore payloads — are
-    identical by construction).
+    ``kind`` is ``"cost"`` (needs ``dataflow``), ``"search"`` (needs
+    ``objective``) or ``"scaleout"`` (needs ``chips`` + ``system``;
+    ``accel`` is the per-chip die).  Hashability is what the
+    scheduler's deduplication and memoization key on; the accelerator
+    participates through its cost-observable fingerprint so two
+    accelerators differing only in name coalesce (their costs — and
+    therefore payloads — are identical by construction).
     """
 
     kind: str
@@ -125,6 +129,8 @@ class Query:
     scope: Scope
     dataflow: Optional[Dataflow] = None
     objective: Optional[Objective] = None
+    chips: Optional[int] = None
+    system: Optional[ScaleoutSystem] = None
 
     def group_key(self) -> Tuple:
         """Coalescing group: queries sharing it can share one grid call."""
@@ -134,8 +140,18 @@ class Query:
         )
 
     def dedupe_key(self) -> Tuple:
-        """Full identity: equal keys receive the same response payload."""
-        return self.group_key() + (self.dataflow, self.objective)
+        """Full identity: equal keys receive the same response payload.
+
+        The scale-out fields enter through the system's name-blind
+        fingerprint — two queries differing only in chip count or
+        fabric must *not* dedupe to one payload.
+        """
+        return self.group_key() + (
+            self.dataflow,
+            self.objective,
+            self.chips,
+            self.system.fingerprint() if self.system is not None else None,
+        )
 
 
 def _resolve_scope(name: object) -> Scope:
@@ -203,16 +219,70 @@ def _resolve_dataflow(spec: object) -> Dataflow:
         raise ProtocolError(str(exc)) from None
 
 
+def _resolve_scaleout(req: Dict[str, Any], accel: Accelerator) -> Tuple[
+    int, ScaleoutSystem
+]:
+    """The ``chips`` count and :class:`ScaleoutSystem` of one request.
+
+    Fabric and channel parameters are optional scalars with the
+    library defaults (``fabric`` mesh/torus, ``link_gbs``, ``hop_ns``,
+    ``chips_per_channel``, ``contention``); validation failures become
+    ``bad_request`` before the scheduler sees the query.
+    """
+    raw = req.get("chips")
+    if raw is None:
+        raise ProtocolError("scaleout query needs 'chips'")
+    try:
+        chips = int(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError("'chips' must be an integer") from None
+    if chips < 1:
+        raise ProtocolError("'chips' must be >= 1")
+    kind_name = str(req.get("fabric", FabricKind.MESH.value))
+    try:
+        kind = FabricKind(kind_name.lower())
+    except ValueError:
+        raise ProtocolError(
+            f"unknown fabric {kind_name!r}; choose from "
+            f"{[k.value for k in FabricKind]}"
+        ) from None
+    defaults = FabricSpec()
+    try:
+        fabric = FabricSpec(
+            kind=kind,
+            link_bytes_per_sec=(
+                float(req["link_gbs"]) * 1e9 if "link_gbs" in req
+                else defaults.link_bytes_per_sec
+            ),
+            hop_latency_s=(
+                float(req["hop_ns"]) * 1e-9 if "hop_ns" in req
+                else defaults.hop_latency_s
+            ),
+        )
+        system = ScaleoutSystem(
+            chip=accel,
+            fabric=fabric,
+            chips_per_channel=int(req.get("chips_per_channel", 1)),
+            channel_contention=float(req.get("contention", 1.0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"scaleout system invalid: {exc}") from None
+    return chips, system
+
+
 def resolve_query(req: Dict[str, Any]) -> Query:
-    """Validate one ``cost``/``search`` request into a :class:`Query`.
+    """Validate one ``cost``/``search``/``scaleout`` request into a
+    :class:`Query`.
 
     Raises :class:`ProtocolError` (``bad_request``) on anything
     malformed; resolution is pure, so a bad request is rejected before
     it ever reaches the scheduler.
     """
     op = req.get("op")
-    if op not in ("cost", "search"):
-        raise ProtocolError(f"op {op!r} is not a query (cost/search)")
+    if op not in ("cost", "search", "scaleout"):
+        raise ProtocolError(
+            f"op {op!r} is not a query (cost/search/scaleout)"
+        )
     cfg = _resolve_workload(req)
     accel = _resolve_accelerator(req)
     scope = _resolve_scope(req.get("scope", "L-A"))
@@ -223,6 +293,12 @@ def resolve_query(req: Dict[str, Any]) -> Query:
         return Query(
             kind="cost", cfg=cfg, accel=accel, scope=scope,
             dataflow=_resolve_dataflow(spec),
+        )
+    if op == "scaleout":
+        chips, system = _resolve_scaleout(req, accel)
+        return Query(
+            kind="scaleout", cfg=cfg, accel=accel, scope=scope,
+            chips=chips, system=system,
         )
     try:
         objective = Objective(str(req.get("objective", "runtime")))
@@ -344,4 +420,33 @@ def search_payload(result: DSEResult) -> Dict[str, Any]:
         "objective": result.objective.value,
         "dataflow": dataflow_to_dict(best.dataflow),
         "cost": cost_payload(best.cost),
+    }
+
+
+def scaleout_payload(result: ScaleoutResult) -> Dict[str, Any]:
+    """The served fields of one two-level scale-out search.
+
+    Only the winner is served: partition, schedule, per-chip dataflow
+    and the cycle split.  :class:`~repro.core.scaleout.ScaleoutStats`
+    and the outer grid are deliberately absent — pruning counts and
+    bound arrays vary with the hierarchical/exhaustive mode and cache
+    warmth, and the payload must stay byte-identical across both (the
+    ``scaleout-equivalence`` property) as well as served-vs-direct.
+    """
+    best = result.best
+    part = best.partition
+    return {
+        "chips": int(result.chips),
+        "partition": {
+            "batch_ways": int(part.batch_ways),
+            "head_ways": int(part.head_ways),
+            "seq_ways": int(part.seq_ways),
+            "label": part.label,
+        },
+        "schedule": best.schedule.value,
+        "dataflow": dataflow_to_dict(best.dataflow),
+        "chip_cycles": float(best.chip_cycles),
+        "fabric_cycles": float(best.fabric_cycles),
+        "total_cycles": float(best.total_cycles),
+        "chip_cost": cost_payload(best.chip_cost),
     }

@@ -11,9 +11,11 @@ Operations:
 
 ``ping`` / ``stats``
     liveness and the scheduler/engine-cache counters.
-``cost`` / ``search``
+``cost`` / ``search`` / ``scaleout``
     resolved into a :class:`~repro.serve.protocol.Query` and submitted
     to the scheduler (coalescing, memo, admission control, deadlines).
+    A ``scaleout`` query runs the two-level multi-chip search
+    (:func:`~repro.core.scaleout.search_scaleout`) for one chip count.
 ``sweep``
     decomposed into ``sweep_chunk``-sized slices submitted chunk by
     chunk: the sub-queries of a chunk land in one micro-batch (dense
@@ -243,7 +245,7 @@ class DSEServer:
         if op == "shutdown":
             asyncio.get_running_loop().create_task(self.shutdown())
             return {"draining": True}
-        if op in ("cost", "search"):
+        if op in ("cost", "search", "scaleout"):
             query = resolve_query(req)
             deadline_s = resolve_deadline_s(req)
             return await self.scheduler.submit(query, deadline_s)

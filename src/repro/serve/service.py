@@ -40,6 +40,7 @@ from repro.serve.protocol import (
     cost_payload,
     grid_payloads,
     resolve_query,
+    scaleout_payload,
     search_payload,
 )
 
@@ -61,6 +62,14 @@ def execute_query(query: Query) -> Dict[str, Any]:
             options=_OPTIONS,
         )
         return cost_payload(cost)
+    if query.kind == "scaleout":
+        from repro.core.scaleout import search_scaleout
+
+        result = search_scaleout(
+            query.cfg, query.system, query.chips,
+            scope=query.scope, options=_OPTIONS,
+        )
+        return scaleout_payload(result)
     result = search(
         query.cfg, query.accel, scope=query.scope,
         objective=query.objective, options=_OPTIONS, engine=_ENGINE,
@@ -112,10 +121,11 @@ def answer_direct(req: Dict[str, Any]) -> Dict[str, Any]:
     """One full response envelope, computed in-process.
 
     Mirrors the server's handling of the deterministic operations
-    (``ping``, ``cost``, ``search``, ``sweep``) byte-for-byte; the
-    stateful operations (``stats``, ``experiment``, ``shutdown``) only
-    make sense against a live daemon and are rejected.  Errors come
-    back as error envelopes, exactly like the server's.
+    (``ping``, ``cost``, ``search``, ``scaleout``, ``sweep``)
+    byte-for-byte; the stateful operations (``stats``, ``experiment``,
+    ``shutdown``) only make sense against a live daemon and are
+    rejected.  Errors come back as error envelopes, exactly like the
+    server's.
     """
     from repro.serve.protocol import error_response, ok_response
 
@@ -126,7 +136,7 @@ def answer_direct(req: Dict[str, Any]) -> Dict[str, Any]:
         op = req.get("op")
         if op == "ping":
             result: Dict[str, Any] = {"protocol": PROTOCOL}
-        elif op in ("cost", "search"):
+        elif op in ("cost", "search", "scaleout"):
             result = execute_query(resolve_query(req))
         elif op == "sweep":
             result = _direct_sweep(req)

@@ -42,15 +42,36 @@ class TestClusteredAccelerator:
             shared_offchip_bytes_per_sec=400e9,
         )
         view = system.per_cluster_view()
+        # Default contention 1.0 is the historical ideal fair share.
         assert view.offchip.bandwidth_bytes_per_sec == pytest.approx(50e9)
         # Everything else is the slice's own.
         assert view.sg_bytes == cloud().sg_bytes
+
+    def test_contention_derates_the_share(self):
+        system = ClusteredAccelerator(
+            slice_accel=cloud(), num_clusters=8,
+            shared_offchip_bytes_per_sec=400e9, contention=1.25,
+        )
+        view = system.per_cluster_view()
+        assert view.offchip.bandwidth_bytes_per_sec == pytest.approx(40e9)
+        assert system.effective_share_bytes_per_sec == pytest.approx(40e9)
+
+    def test_single_cluster_ignores_contention(self):
+        system = ClusteredAccelerator(
+            slice_accel=cloud(), num_clusters=1,
+            shared_offchip_bytes_per_sec=400e9, contention=2.0,
+        )
+        # An unshared channel streams at the full rate regardless of
+        # the arbiter derate.
+        assert system.effective_share_bytes_per_sec == pytest.approx(400e9)
 
     def test_validation(self):
         with pytest.raises(ValueError):
             ClusteredAccelerator(edge(), 0, 50e9)
         with pytest.raises(ValueError):
             ClusteredAccelerator(edge(), 2, 0)
+        with pytest.raises(ValueError):
+            ClusteredAccelerator(edge(), 2, 50e9, contention=0.9)
 
 
 class TestScaleoutExperiment:
@@ -58,24 +79,30 @@ class TestScaleoutExperiment:
     def rows(self):
         from repro.experiments.ext_scaleout import run
 
-        return run(cluster_counts=(1, 2, 8))
+        return run(chip_counts=(8, 16, 64))
 
-    def test_unfused_pins_at_channel_limit(self, rows):
-        """The quadratic baseline cannot use added clusters."""
-        assert rows[1].base_tops == pytest.approx(rows[0].base_tops,
-                                                  rel=0.05)
-        assert rows[2].base_tops == pytest.approx(rows[0].base_tops,
-                                                  rel=0.05)
+    def test_throughput_scales_with_chips(self, rows):
+        tops = [r.tops for r in rows]
+        assert tops == sorted(tops)
+        assert tops[-1] > 2 * tops[0]
 
-    def test_flat_scales_with_clusters(self, rows):
-        assert rows[1].flat_tops > 1.8 * rows[0].flat_tops
-        assert rows[2].flat_tops > 6.0 * rows[0].flat_tops
+    def test_unfused_baseline_stays_memory_bound(self, rows):
+        assert all(r.unfused_regime == "memory" for r in rows)
 
-    def test_advantage_grows(self, rows):
-        advantages = [r.flat_advantage for r in rows]
-        assert advantages == sorted(advantages)
+    def test_regime_flips_to_fabric(self, rows):
+        """The headline claim: enough chips turn attention fabric-bound."""
+        regimes = [r.regime for r in rows]
+        assert regimes[0] == "compute"
+        assert regimes[-1] == "fabric"
+
+    def test_partitions_stay_feasible(self, rows):
+        for r in rows:
+            ways = {p[0]: int(p[1:]) for p in r.partition.split("-")}
+            assert ways["b"] * ways["h"] * ways["s"] == r.chips
 
     def test_report_renders(self, rows):
         from repro.experiments.ext_scaleout import format_report
 
-        assert "shared" in format_report(rows)
+        report = format_report(rows)
+        assert "contention factor" in report
+        assert "fabric-bound" in report

@@ -1,0 +1,154 @@
+"""Tests for the chip-to-chip fabric collective cost model.
+
+Two bars, mirroring the candidate layer's contract one level up:
+
+* **Model shape** — near-square arrangements, torus doubling, the
+  ring/tree alpha-beta tradeoff landing on the right side of its
+  crossover, all-reduce paying both phases.
+* **Admissibility** — :func:`collective_floor_s` must never exceed
+  :func:`collective_time_s` for any schedule, probed over randomized
+  (hypothesis) payloads, group sizes and link speeds: the scale-out
+  branch-and-bound (:mod:`repro.core.scaleout`) prunes against it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.fabric import (
+    CollectiveKind,
+    CollectiveSchedule,
+    FabricKind,
+    FabricSpec,
+    collective_floor_s,
+    collective_time_s,
+)
+
+
+class TestFabricSpec:
+    def test_dims_near_square(self):
+        assert FabricSpec.dims(64) == (8, 8)
+        assert FabricSpec.dims(32) == (4, 8)
+        assert FabricSpec.dims(12) == (3, 4)
+
+    def test_prime_count_degenerates_to_a_line(self):
+        assert FabricSpec.dims(7) == (1, 7)
+
+    def test_dims_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FabricSpec.dims(0)
+
+    def test_torus_doubles_bisection(self):
+        mesh = FabricSpec(kind=FabricKind.MESH)
+        torus = FabricSpec(kind=FabricKind.TORUS)
+        assert torus.bisection_bytes_per_sec(16) == pytest.approx(
+            2.0 * mesh.bisection_bytes_per_sec(16)
+        )
+
+    def test_bisection_scales_with_rows(self):
+        spec = FabricSpec(link_bytes_per_sec=10e9)
+        # 8x8: eight cut links, each duplex.
+        assert spec.bisection_bytes_per_sec(64) == pytest.approx(
+            2.0 * 8 * 10e9
+        )
+
+    def test_bisection_needs_two_chips(self):
+        with pytest.raises(ValueError):
+            FabricSpec().bisection_bytes_per_sec(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabricSpec(link_bytes_per_sec=0)
+        with pytest.raises(ValueError):
+            FabricSpec(hop_latency_s=-1e-9)
+
+
+class TestCollectiveTime:
+    def test_one_chip_group_is_free(self):
+        spec = FabricSpec()
+        for schedule in CollectiveSchedule:
+            assert collective_time_s(
+                spec, schedule, CollectiveKind.ALL_GATHER, 1, 1 << 30
+            ) == 0.0
+
+    def test_empty_payload_is_free(self):
+        spec = FabricSpec()
+        assert collective_time_s(
+            spec, CollectiveSchedule.RING, CollectiveKind.ALL_GATHER, 8, 0
+        ) == 0.0
+
+    def test_ring_wins_big_payloads_tree_wins_small(self):
+        """The alpha-beta crossover: bandwidth vs latency dominance."""
+        spec = FabricSpec(link_bytes_per_sec=25e9, hop_latency_s=1e-6)
+
+        def t(schedule, payload):
+            return collective_time_s(
+                spec, schedule, CollectiveKind.ALL_GATHER, 64, payload
+            )
+
+        big, small = 1 << 30, 1 << 10
+        assert t(CollectiveSchedule.RING, big) < t(
+            CollectiveSchedule.TREE, big
+        )
+        assert t(CollectiveSchedule.TREE, small) < t(
+            CollectiveSchedule.RING, small
+        )
+
+    def test_all_reduce_pays_two_phases(self):
+        spec = FabricSpec()
+        gather = collective_time_s(
+            spec, CollectiveSchedule.RING, CollectiveKind.ALL_GATHER,
+            16, 1 << 20,
+        )
+        reduce_ = collective_time_s(
+            spec, CollectiveSchedule.RING, CollectiveKind.ALL_REDUCE,
+            16, 1 << 20,
+        )
+        assert reduce_ == pytest.approx(2.0 * gather)
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            collective_time_s(
+                FabricSpec(), CollectiveSchedule.RING,
+                CollectiveKind.ALL_GATHER, 0, 1,
+            )
+
+
+class TestFloorAdmissibility:
+    """floor <= time for every schedule, always."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        chips=st.integers(min_value=2, max_value=256),
+        payload=st.integers(min_value=1, max_value=1 << 34),
+        link_gbs=st.sampled_from([1.0, 8.0, 25.0, 100.0]),
+        hop_ns=st.sampled_from([0.0, 50.0, 1000.0]),
+        kind=st.sampled_from(list(CollectiveKind)),
+        fabric_kind=st.sampled_from(list(FabricKind)),
+    )
+    def test_floor_below_every_schedule(
+        self, chips, payload, link_gbs, hop_ns, kind, fabric_kind
+    ):
+        spec = FabricSpec(
+            kind=fabric_kind,
+            link_bytes_per_sec=link_gbs * 1e9,
+            hop_latency_s=hop_ns * 1e-9,
+        )
+        floor = collective_floor_s(spec, kind, chips, payload)
+        for schedule in CollectiveSchedule:
+            time = collective_time_s(spec, schedule, kind, chips, payload)
+            assert floor <= time, (schedule, floor, time)
+
+    def test_floor_free_cases_match_time(self):
+        spec = FabricSpec()
+        assert collective_floor_s(
+            spec, CollectiveKind.ALL_GATHER, 1, 1 << 20
+        ) == 0.0
+        assert collective_floor_s(
+            spec, CollectiveKind.ALL_GATHER, 8, 0
+        ) == 0.0
+
+    def test_floor_is_positive_when_work_exists(self):
+        assert collective_floor_s(
+            FabricSpec(), CollectiveKind.ALL_GATHER, 8, 1 << 20
+        ) > 0.0

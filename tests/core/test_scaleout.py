@@ -1,0 +1,363 @@
+"""Tests for the two-level multi-chip scale-out DSE.
+
+Three bars, mirroring the candidate layer's contract one level up:
+
+* **Model structure** — partition enumeration covers exactly the
+  feasible factorizations, sharding ceil-divides the right axes, and
+  the induced collectives match the sharding model's closed forms.
+* **Grid fidelity** — the vectorized outer grid must reproduce the
+  scalar fabric functions *bit for bit*, and its bounds must be
+  admissible: never above the true (inner search + fabric) total of
+  any outer point, probed over randomized (hypothesis) workloads.
+* **Equivalence** — branch-and-bound pruning, memoization and
+  warm-starting must be invisible in the result: the hierarchical
+  path returns the exhaustive reference's winner exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.fabric import (
+    CollectiveKind,
+    CollectiveSchedule,
+    FabricSpec,
+    collective_floor_s,
+    collective_time_s,
+)
+from repro.arch.presets import edge
+from repro.core.dse import Objective, search
+from repro.core.engine import clear_evaluation_cache, default_warm_start
+from repro.core.scaleout import (
+    DEFAULT_SCHEDULES,
+    Partition,
+    ScaleoutSystem,
+    default_scaleout_exhaustive,
+    enumerate_partitions,
+    evaluate_partition_grid,
+    induced_collectives,
+    reset_scaleout_totals,
+    scaleout_totals,
+    search_scaleout,
+    shard_config,
+    sweep_chip_counts,
+)
+from repro.ops.attention import AttentionConfig, Scope
+
+
+def _cfg(batch=4, heads=4, d_head=16, seq=128):
+    return AttentionConfig(
+        name="scale", batch=batch, heads=heads, d_model=heads * d_head,
+        seq_q=seq, seq_kv=seq, d_ff=4 * heads * d_head,
+    )
+
+
+def _system(**kwargs):
+    return ScaleoutSystem(chip=edge(), **kwargs)
+
+
+workloads = st.builds(
+    _cfg,
+    batch=st.integers(min_value=1, max_value=8),
+    heads=st.sampled_from([2, 4, 8]),
+    d_head=st.sampled_from([16, 32]),
+    seq=st.sampled_from([64, 128]),
+)
+chip_counts = st.sampled_from([2, 4, 6, 8, 12])
+
+
+class TestPartitions:
+    def test_ways_multiply_to_chips(self):
+        for part in enumerate_partitions(_cfg(), 8):
+            assert (
+                part.batch_ways * part.head_ways * part.seq_ways
+                == part.chips == 8
+            )
+
+    def test_infeasible_cuts_excluded(self):
+        cfg = _cfg(batch=2, heads=2, seq=128)
+        for part in enumerate_partitions(cfg, 8):
+            assert part.batch_ways <= cfg.batch
+            assert part.head_ways <= cfg.heads
+            assert part.seq_ways <= cfg.seq_q
+
+    def test_single_chip_is_the_identity_partition(self):
+        (part,) = enumerate_partitions(_cfg(), 1)
+        assert part.label == "b1-h1-s1"
+
+    def test_order_is_batch_then_head_ascending(self):
+        parts = enumerate_partitions(_cfg(), 4)
+        keys = [(p.batch_ways, p.head_ways) for p in parts]
+        assert keys == sorted(keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(chips=4, batch_ways=2, head_ways=1, seq_ways=1)
+        with pytest.raises(ValueError):
+            Partition(chips=4, batch_ways=0, head_ways=1, seq_ways=4)
+        with pytest.raises(ValueError):
+            enumerate_partitions(_cfg(), 0)
+
+
+class TestShardConfig:
+    def test_head_shard_keeps_d_head(self):
+        cfg = _cfg(heads=4, d_head=16)
+        shard = shard_config(cfg, Partition(2, 1, 2, 1))
+        assert shard.heads == 2
+        assert shard.d_model == 2 * 16
+        assert shard.d_ff == cfg.d_ff // 2
+
+    def test_seq_shard_cuts_q_only(self):
+        cfg = _cfg(seq=128)
+        shard = shard_config(cfg, Partition(4, 1, 1, 4))
+        assert shard.seq_q == 32
+        assert shard.seq_kv == cfg.seq_kv
+
+    def test_ceil_division(self):
+        cfg = _cfg(batch=3)
+        shard = shard_config(cfg, Partition(2, 2, 1, 1))
+        assert shard.batch == 2  # the largest shard sets the pace
+
+    def test_label_lands_in_the_name(self):
+        shard = shard_config(_cfg(), Partition(4, 2, 2, 1))
+        assert shard.name.endswith("/b2-h2-s1")
+
+
+class TestInducedCollectives:
+    def test_pure_batch_is_free(self):
+        assert induced_collectives(_cfg(), Partition(4, 4, 1, 1), 2) == ()
+
+    def test_seq_shard_gathers_kv(self):
+        cfg = _cfg(batch=2, heads=4, d_head=16, seq=128)
+        (coll,) = induced_collectives(cfg, Partition(4, 1, 1, 4), 2)
+        assert coll.kind is CollectiveKind.ALL_GATHER
+        assert coll.group == 4
+        # 2 tensors x B x H x Nkv x d_head x bytes (un-cut shard axes).
+        assert coll.payload_bytes == 2 * 2 * 4 * 128 * 16 * 2
+
+    def test_head_shard_reduces_output(self):
+        cfg = _cfg(batch=2, heads=4, d_head=16, seq=128)
+        (coll,) = induced_collectives(cfg, Partition(2, 1, 2, 1), 2)
+        assert coll.kind is CollectiveKind.ALL_REDUCE
+        assert coll.group == 2
+        # B x Nq x d_model x bytes, over the full (replicated) d_model.
+        assert coll.payload_bytes == 2 * 128 * cfg.d_model * 2
+
+    def test_mixed_partition_induces_both(self):
+        kinds = {
+            c.kind
+            for c in induced_collectives(_cfg(), Partition(4, 1, 2, 2), 2)
+        }
+        assert kinds == {
+            CollectiveKind.ALL_GATHER, CollectiveKind.ALL_REDUCE
+        }
+
+
+class TestSystem:
+    def test_unshared_chip_view_is_the_chip(self):
+        assert _system().chip_view() == edge()
+
+    def test_shared_channel_derates_offchip(self):
+        system = _system(chips_per_channel=4, channel_contention=1.25)
+        view = system.chip_view()
+        assert view.offchip.bandwidth_bytes_per_sec == pytest.approx(
+            edge().offchip.bandwidth_bytes_per_sec / (4 * 1.25)
+        )
+
+    def test_fingerprint_is_name_blind(self):
+        from dataclasses import replace
+
+        renamed = ScaleoutSystem(chip=replace(edge(), name="other"))
+        assert _system().fingerprint() == renamed.fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _system(chips_per_channel=0)
+        with pytest.raises(ValueError):
+            _system(channel_contention=0.5)
+
+
+class TestGridFidelity:
+    """The vectorized grid reproduces the scalar fabric bit for bit."""
+
+    def _scalar_fabric_s(self, cfg, system, part, schedule):
+        return sum(
+            collective_time_s(
+                system.fabric, schedule, coll.kind, coll.group,
+                coll.payload_bytes,
+            )
+            for coll in induced_collectives(
+                cfg, part, system.chip.bytes_per_element
+            )
+        )
+
+    def test_fabric_cycles_bit_identical_to_scalar(self):
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        system = _system(fabric=FabricSpec(hop_latency_s=1e-6))
+        grid = evaluate_partition_grid(cfg, system, 8)
+        freq = system.chip.frequency_hz
+        for i, part in enumerate(grid.partitions):
+            for j, schedule in enumerate(grid.schedules):
+                expected = (
+                    self._scalar_fabric_s(cfg, system, part, schedule)
+                    * freq
+                )
+                assert grid.fabric_cycles[i, j] == expected, (part, schedule)
+
+    def test_fabric_floor_bit_identical_to_scalar(self):
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        system = _system()
+        grid = evaluate_partition_grid(cfg, system, 8)
+        freq = system.chip.frequency_hz
+        for i, part in enumerate(grid.partitions):
+            expected = sum(
+                collective_floor_s(
+                    system.fabric, coll.kind, coll.group, coll.payload_bytes
+                )
+                for coll in induced_collectives(
+                    cfg, part, system.chip.bytes_per_element
+                )
+            ) * freq
+            assert grid.fabric_floor_cycles[i] == expected, part
+
+    def test_fabric_floor_never_above_any_schedule(self):
+        grid = evaluate_partition_grid(_cfg(batch=8, heads=8), _system(), 8)
+        for j in range(len(grid.schedules)):
+            assert (
+                grid.fabric_floor_cycles <= grid.fabric_cycles[:, j]
+            ).all()
+
+    def test_bound_is_floor_plus_fabric(self):
+        grid = evaluate_partition_grid(_cfg(), _system(), 4)
+        assert (
+            grid.bound_cycles
+            == grid.compute_floor_cycles[:, None] + grid.fabric_cycles
+        ).all()
+
+    def test_rejects_empty_spaces(self):
+        with pytest.raises(ValueError):
+            evaluate_partition_grid(_cfg(batch=1, heads=1, seq=1),
+                                    _system(), 64)
+        with pytest.raises(ValueError):
+            evaluate_partition_grid(_cfg(), _system(), 4, schedules=())
+
+
+class TestBoundAdmissibility:
+    """bound(point) <= inner-search total + fabric, always."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(cfg=workloads, chips=chip_counts)
+    def test_bounds_admissible(self, cfg, chips):
+        system = _system(chips_per_channel=2)
+        grid = evaluate_partition_grid(cfg, system, chips)
+        view = system.chip_view()
+        for i, part in enumerate(grid.partitions):
+            shard = shard_config(cfg, part)
+            result = search(shard, view, scope=Scope.LA,
+                            objective=Objective.RUNTIME,
+                            retain_points=False)
+            chip_cycles = float(result.best.cost.total_cycles)
+            for j in range(len(grid.schedules)):
+                true_total = chip_cycles + float(grid.fabric_cycles[i, j])
+                assert grid.bound_cycles[i, j] <= true_total, (
+                    part, grid.schedules[j]
+                )
+
+
+class TestSearchEquivalence:
+    """Pruned, memoized, warm-started — all byte-identical."""
+
+    def _key(self, result):
+        best = result.best
+        return (
+            best.partition, best.schedule, best.dataflow,
+            best.chip_cost, best.fabric_cycles,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(cfg=workloads, chips=chip_counts)
+    def test_hierarchical_matches_exhaustive(self, cfg, chips):
+        system = _system(chips_per_channel=2)
+        clear_evaluation_cache()
+        ref = search_scaleout(cfg, system, chips, exhaustive=True,
+                              use_memo=False)
+        clear_evaluation_cache()
+        hier = search_scaleout(cfg, system, chips, exhaustive=False,
+                               use_memo=False)
+        assert self._key(hier) == self._key(ref)
+        assert ref.stats.partitions_pruned == 0
+
+    def test_winner_never_pruned(self):
+        """The exhaustive winner's bound can never exceed the optimum,
+        so the strict-inequality gate cannot fire against it."""
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        system = _system(chips_per_channel=2)
+        clear_evaluation_cache()
+        ref = search_scaleout(cfg, system, 8, exhaustive=True,
+                              use_memo=False)
+        grid = ref.grid
+        i = grid.partitions.index(ref.best.partition)
+        j = grid.schedules.index(ref.best.schedule)
+        optimum = ref.best.total_cycles
+        assert grid.bound_cycles[i, j] <= optimum
+
+    def test_stats_ledger_balances(self):
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        clear_evaluation_cache()
+        result = search_scaleout(cfg, _system(), 8, use_memo=False)
+        stats = result.stats
+        assert stats.memo_hits == 0
+        assert stats.outer_enumerated == (
+            stats.outer_evaluated + stats.partitions_pruned
+        )
+        assert stats.partitions_pruned > 0
+        assert stats.inner_searches >= 1
+
+    def test_memo_hit_short_circuits_repeat_search(self):
+        cfg = _cfg()
+        system = _system()
+        clear_evaluation_cache()
+        first = search_scaleout(cfg, system, 4)
+        again = search_scaleout(cfg, system, 4)
+        assert again.stats.memo_hits == 1
+        assert again.stats.inner_searches == 0
+        assert self._key(again) == self._key(first)
+
+    def test_warm_chained_sweep_bit_identical_to_cold(self):
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        system = _system(chips_per_channel=2)
+        counts = (2, 4, 8)
+        clear_evaluation_cache()
+        cold = sweep_chip_counts(cfg, system, counts)
+        clear_evaluation_cache()
+        with default_warm_start(True):
+            warm = sweep_chip_counts(cfg, system, counts)
+            assert any(r.incumbent is not None for r in warm)
+        assert [self._key(r) for r in warm] == [self._key(r) for r in cold]
+
+    def test_default_exhaustive_context(self):
+        cfg = _cfg(batch=8, heads=8, seq=128)
+        clear_evaluation_cache()
+        with default_scaleout_exhaustive(True):
+            result = search_scaleout(cfg, _system(), 8, use_memo=False)
+        assert result.stats.partitions_pruned == 0
+        clear_evaluation_cache()
+        result = search_scaleout(cfg, _system(), 8, use_memo=False)
+        assert result.stats.partitions_pruned > 0
+
+    def test_totals_accumulate(self):
+        cfg = _cfg()
+        clear_evaluation_cache()
+        reset_scaleout_totals()
+        result = search_scaleout(cfg, _system(), 4, use_memo=False)
+        totals = scaleout_totals()
+        assert totals == result.stats.as_dict()
+
+    def test_total_cycles_is_chip_plus_fabric(self):
+        cfg = _cfg(batch=2, seq=128)
+        result = search_scaleout(cfg, _system(), 4, use_memo=False)
+        best = result.best
+        assert best.total_cycles == best.chip_cycles + best.fabric_cycles
+        assert math.isfinite(best.total_cycles)

@@ -378,6 +378,47 @@ class TestR3Determinism:
         assert finding.rule == "R3" and finding.line == 1
         assert "repro.serve.scheduler" in finding.message
 
+    def test_scaleout_tier_is_required_and_fingerprinted(self):
+        """Regression: the scale-out tier must stay in the fingerprint
+        set — cached ``scaleout-memo`` winners embed the fabric
+        collective formulas and the partition/sharding model — while
+        ``repro.serve`` stays excluded."""
+        from repro.core.cache import _FINGERPRINT_MODULES
+        from repro.lint.contracts import (
+            FINGERPRINT_EXCLUDED_PREFIXES,
+            REQUIRED_FINGERPRINT_MODULES,
+        )
+
+        for module in ("repro.core.scaleout", "repro.arch.fabric"):
+            assert module in REQUIRED_FINGERPRINT_MODULES
+            assert module in _FINGERPRINT_MODULES
+        assert "repro.serve" in FINGERPRINT_EXCLUDED_PREFIXES
+        assert not any(
+            name.startswith("repro.serve") for name in _FINGERPRINT_MODULES
+        )
+
+    def test_fingerprint_missing_scaleout_tier_flagged(self):
+        """Dropping the new modules from ``cache.py`` is an R3 finding."""
+        result = run_lint(
+            "repro.core.cache",
+            """\
+            _FINGERPRINT_MODULES = (
+                "repro.core.perf",
+            )
+            """,
+            rules=[DeterminismRule()],
+            contracts=Contracts(
+                required_fingerprint_modules=frozenset(
+                    {"repro.core.perf", "repro.core.scaleout",
+                     "repro.arch.fabric"}
+                ),
+            ),
+        )
+        (finding,) = result.unsuppressed
+        assert finding.rule == "R3" and finding.line == 1
+        assert "repro.core.scaleout" in finding.message
+        assert "repro.arch.fabric" in finding.message
+
 
 class TestR4ConfigImmutability:
     def test_unfrozen_cache_key_dataclass_flagged(self):

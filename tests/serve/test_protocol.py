@@ -27,6 +27,7 @@ from repro.serve.protocol import (
     grid_payloads,
     resolve_deadline_s,
     resolve_query,
+    scaleout_payload,
     search_payload,
 )
 
@@ -97,6 +98,59 @@ class TestResolveQuery:
         assert a.dedupe_key() != b.dedupe_key()
 
 
+class TestResolveScaleout:
+    REQ = {"op": "scaleout", "model": "bert", "seq": 512, "batch": 8,
+           "chips": 8}
+
+    def test_resolves_defaults(self):
+        query = resolve_query(self.REQ)
+        assert query.kind == "scaleout"
+        assert query.chips == 8
+        assert query.system.chip == edge()
+        assert query.system.chips_per_channel == 1
+        assert query.system.channel_contention == 1.0
+
+    def test_fabric_overrides(self):
+        query = resolve_query(dict(
+            self.REQ, fabric="torus", link_gbs=8, hop_ns=50,
+            chips_per_channel=4, contention=1.25,
+        ))
+        fabric = query.system.fabric
+        assert fabric.kind.value == "torus"
+        assert fabric.link_bytes_per_sec == pytest.approx(8e9)
+        assert fabric.hop_latency_s == pytest.approx(50e-9)
+        assert query.system.chips_per_channel == 4
+        assert query.system.channel_contention == 1.25
+
+    @pytest.mark.parametrize("req,fragment", [
+        ({"op": "scaleout", "model": "bert"}, "needs 'chips'"),
+        ({"op": "scaleout", "model": "bert", "chips": "zz"},
+         "must be an integer"),
+        ({"op": "scaleout", "model": "bert", "chips": 0}, ">= 1"),
+        ({"op": "scaleout", "model": "bert", "chips": 4, "fabric": "ring"},
+         "unknown fabric"),
+        ({"op": "scaleout", "model": "bert", "chips": 4,
+          "contention": 0.5}, "scaleout system invalid"),
+        ({"op": "scaleout", "model": "bert", "chips": 4, "link_gbs": 0},
+         "scaleout system invalid"),
+    ])
+    def test_malformed_requests_rejected(self, req, fragment):
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve_query(req)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.code == "bad_request"
+
+    def test_dedupe_key_distinguishes_chip_counts_and_fabrics(self):
+        a = resolve_query(self.REQ)
+        b = resolve_query(dict(self.REQ, chips=16))
+        c = resolve_query(dict(self.REQ, link_gbs=8))
+        d = resolve_query(dict(self.REQ))
+        assert a.group_key() == b.group_key()
+        assert a.dedupe_key() != b.dedupe_key()
+        assert a.dedupe_key() != c.dedupe_key()
+        assert a.dedupe_key() == d.dedupe_key()
+
+
 class TestDeadline:
     def test_absent_is_none(self):
         assert resolve_deadline_s({"op": "cost"}) is None
@@ -159,6 +213,48 @@ class TestPayloadEquivalence:
             search(bert_512, edge(), retain_points=False)
         )
         assert encode_line(again) == encode_line(payload)
+
+    def test_scaleout_payload_is_mode_invariant(self):
+        """Hierarchical and exhaustive searches serve the same bytes —
+        stats and bound grids stay out of the payload by design."""
+        from repro.core.engine import clear_evaluation_cache
+        from repro.core.scaleout import ScaleoutSystem, search_scaleout
+
+        cfg = model_config("bert", seq=512, batch=8)
+        system = ScaleoutSystem(chip=edge(), chips_per_channel=2)
+        clear_evaluation_cache()
+        hier = scaleout_payload(
+            search_scaleout(cfg, system, 8, use_memo=False)
+        )
+        clear_evaluation_cache()
+        ref = scaleout_payload(
+            search_scaleout(cfg, system, 8, exhaustive=True,
+                            use_memo=False)
+        )
+        assert encode_line(hier) == encode_line(ref)
+        assert set(hier) == {
+            "chips", "partition", "schedule", "dataflow",
+            "chip_cycles", "fabric_cycles", "total_cycles", "chip_cost",
+        }
+
+    def test_scaleout_direct_answer_round_trips(self):
+        from repro.serve.service import answer_direct
+
+        req = {"op": "scaleout", "model": "bert", "seq": 512, "batch": 8,
+               "chips": 8, "chips_per_channel": 2, "id": "q1"}
+        resp = answer_direct(req)
+        assert resp["ok"] is True
+        result = resp["result"]
+        part = result["partition"]
+        assert (
+            part["batch_ways"] * part["head_ways"] * part["seq_ways"] == 8
+        )
+        assert result["total_cycles"] == pytest.approx(
+            result["chip_cycles"] + result["fabric_cycles"]
+        )
+        # The same request again serves the identical bytes (memo or
+        # not — the payload may not depend on cache warmth).
+        assert encode_line(answer_direct(req)) == encode_line(resp)
 
 
 def test_protocol_version_is_pinned():
