@@ -400,13 +400,16 @@ class PersistentCache:
 # ``None``: defer to the environment variable.  ``""``: explicitly
 # disabled (overrides the environment).  Anything else: a directory.
 _default_dir: Optional[str] = None
+_DEFAULT_DIR_LOCK = threading.Lock()
 _instances: Dict[Tuple[str, str], PersistentCache] = {}
 _INSTANCES_LOCK = threading.Lock()
 
 
 def resolve_cache_dir() -> Optional[str]:
     """Directory the default cache would use, or ``None`` if disabled."""
-    path = _default_dir if _default_dir is not None else os.environ.get(
+    with _DEFAULT_DIR_LOCK:
+        configured = _default_dir
+    path = configured if configured is not None else os.environ.get(
         _ENV_VAR
     )
     return path or None
@@ -436,8 +439,9 @@ def set_default_cache_dir(path: Optional[str]) -> Optional[str]:
     disables the default cache even if the environment sets one.
     """
     global _default_dir
-    previous = _default_dir
-    _default_dir = path
+    with _DEFAULT_DIR_LOCK:
+        previous = _default_dir
+        _default_dir = path
     return previous
 
 

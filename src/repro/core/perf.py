@@ -637,7 +637,7 @@ def cost_operator(
     gemm_phase = _Phase(
         compute_cycles=compute,
         dram_elements=dram_elements,
-        sg_words=_sg_stream_words(op.macs, accel) + op.out.num_elements,
+        sg_words=_sg_stream_words(op.macs, accel) + op.out.num_elements,  # repro-lint: ignore[R5] -- the SG drains one word per output element; intended 1:1 elements->words cast
     )
     phases = [gemm_phase]
     if op.softmax_after:

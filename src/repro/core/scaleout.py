@@ -225,18 +225,17 @@ def induced_collectives(
     shard = shard_config(cfg, partition)
     out: List[Collective] = []
     if partition.seq_ways > 1:
-        kv_bytes = (
+        kv_elements = (
             2 * shard.batch * shard.heads * cfg.seq_kv * cfg.d_head
-            * bytes_per_element
         )
+        kv_bytes = kv_elements * bytes_per_element
         out.append(
             Collective(CollectiveKind.ALL_GATHER, partition.seq_ways,
                        kv_bytes)
         )
     if partition.head_ways > 1:
-        out_bytes = (
-            shard.batch * shard.seq_q * cfg.d_model * bytes_per_element
-        )
+        out_elements = shard.batch * shard.seq_q * cfg.d_model
+        out_bytes = out_elements * bytes_per_element
         out.append(
             Collective(CollectiveKind.ALL_REDUCE, partition.head_ways,
                        out_bytes)
@@ -517,7 +516,8 @@ _DEFAULT_LOCK = threading.Lock()
 
 
 def get_default_scaleout_exhaustive() -> bool:
-    return _default_exhaustive
+    with _DEFAULT_LOCK:
+        return _default_exhaustive
 
 
 def set_default_scaleout_exhaustive(value: bool) -> bool:

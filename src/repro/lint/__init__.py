@@ -7,14 +7,22 @@ invariants the test suite can only sample:
 * **R2** shape polymorphism of the scalar<->batch shared cores,
 * **R3** determinism of the cache-fingerprinted module set (plus
   fingerprint coverage),
-* **R4** immutability/hashability of the cache-key dataclasses.
+* **R4** immutability/hashability of the cache-key dataclasses,
+* **R5** unit consistency (seconds/cycles/bytes/...) across the
+  perf, scale-out, fabric, energy and sim tiers,
+* **R6** the serving/cache concurrency contract (lock inventory,
+  no await under a thread lock, no blocking calls on the loop),
+* **R7** purity of the admissible-bound call closures.
 
 Run it as ``python -m repro.lint [paths...]`` or ``repro-flat lint``;
 see ``docs/lint.md`` for the rules, the contract tables and the
-``# repro-lint: ignore[R?]`` suppression syntax.
+``# repro-lint: ignore[R?] -- reason`` suppression syntax (the reason
+is mandatory for R5-R7).  ``--dump-contracts`` prints the live
+contract tables as stable JSON (CI diffs it against
+``docs/contracts.json``).
 """
 
-from repro.lint.contracts import Contracts
+from repro.lint.contracts import Contracts, dump_contracts
 from repro.lint.engine import (
     Finding,
     LintEngine,
@@ -22,7 +30,7 @@ from repro.lint.engine import (
     LintResult,
     ModuleUnit,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.report import emit_metrics, render_json, render_text
 from repro.lint.rules import default_rules
 
 __all__ = [
@@ -33,6 +41,7 @@ __all__ = [
     "LintResult",
     "ModuleUnit",
     "default_rules",
+    "dump_contracts",
     "render_json",
     "render_text",
     "lint",
@@ -84,7 +93,7 @@ def main(argv=None) -> int:
         prog="python -m repro.lint",
         description=(
             "AST invariant checker for the FLAT cost model's "
-            "correctness contracts (rules R1-R4; see docs/lint.md)"
+            "correctness contracts (rules R1-R7; see docs/lint.md)"
         ),
     )
     parser.add_argument(
@@ -107,7 +116,25 @@ def main(argv=None) -> int:
         "--list-rules", action="store_true",
         help="list the available rules and exit",
     )
+    parser.add_argument(
+        "--dump-contracts", action="store_true",
+        help=(
+            "print the static contract tables as stable JSON and "
+            "exit (CI diffs this against docs/contracts.json)"
+        ),
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "record lint.* obs metrics (per-rule findings and wall "
+            "time) into a JSONL trace at PATH"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.dump_contracts:
+        print(dump_contracts())
+        return 0
 
     all_rules = default_rules()
     if args.list_rules:
@@ -129,7 +156,14 @@ def main(argv=None) -> int:
         rules = [rule for rule in all_rules if rule.id in wanted]
 
     try:
-        result = lint(args.paths, rules=rules)
+        if args.trace:
+            from repro.obs import observed
+
+            with observed(args.trace):
+                result = lint(args.paths, rules=rules)
+                emit_metrics(result)
+        else:
+            result = lint(args.paths, rules=rules)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -48,7 +48,23 @@ __all__ = [
     "REQUIRED_FINGERPRINT_MODULES",
     "FINGERPRINT_EXCLUDED_PREFIXES",
     "CACHE_KEY_CLASSES",
+    "UNIT_SUFFIXES",
+    "UNIT_MODULES",
+    "UNIT_MUL_TABLE",
+    "UNIT_DIV_TABLE",
+    "UNIT_NAME_OVERRIDES",
+    "LOCK_INVENTORY",
+    "EVENT_LOOP_MODULES",
+    "BLOCKING_CALL_CHAINS",
+    "BLOCKING_CALL_NAMES",
+    "BOUND_FUNCTIONS",
+    "PURE_CALL_PREFIXES",
+    "PURE_CALL_NAMES",
+    "PURE_BANNED_PREFIXES",
+    "PURE_BANNED_NAMES",
+    "MUTATOR_METHODS",
     "Contracts",
+    "dump_contracts",
 ]
 
 
@@ -184,6 +200,255 @@ CACHE_KEY_CLASSES: Mapping[str, FrozenSet[str]] = _table({
     "repro.arch.sfu": {"SFUSpec"},
 })
 
+# ----------------------------------------------------------------------
+# R5 — unit consistency
+# ----------------------------------------------------------------------
+#: Identifier-suffix -> abstract unit, longest suffix matched first.
+#: ``total_s + fabric_cycles`` is a bug the type system can't see; the
+#: naming convention *is* the unit annotation, so the linter reads it.
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_bytes_per_sec", "bytes/s"),
+    ("bytes_per_sec", "bytes/s"),
+    ("_bytes_per_cycle", "bytes/cycle"),
+    ("bytes_per_cycle", "bytes/cycle"),
+    ("_words_per_cycle", "words/cycle"),
+    ("words_per_cycle", "words/cycle"),
+    ("_bytes_per_element", "bytes/element"),
+    ("bytes_per_element", "bytes/element"),
+    ("_cycles", "cycles"),
+    ("_bytes", "bytes"),
+    ("_elements", "elements"),
+    ("_words", "words"),
+    ("_hz", "hz"),
+    ("_joules", "joules"),
+    ("_j", "joules"),
+    ("_s", "s"),
+)
+
+#: Modules R5 runs over: everywhere seconds (fabric), cycles (perf,
+#: sim), bytes and elements coexist with only the suffix convention
+#: keeping them apart.
+UNIT_MODULES: FrozenSet[str] = frozenset({
+    "repro.core.perf",
+    "repro.core.scaleout",
+    "repro.arch.fabric",
+    "repro.arch.noc",
+    "repro.energy.model",
+    "repro.energy.tables",
+    "repro.sim.engine",
+    "repro.sim.schedule",
+    "repro.sim.trace",
+})
+
+#: Legal unit-producing multiplications (commutative; the rule checks
+#: both orders).  These are the *boundary conversions*: seconds become
+#: cycles only through a frequency, elements become bytes only through
+#: a bytes-per-element factor.
+UNIT_MUL_TABLE: Mapping[Tuple[str, str], str] = {
+    ("s", "hz"): "cycles",
+    ("bytes/s", "s"): "bytes",
+    ("bytes/cycle", "cycles"): "bytes",
+    ("words/cycle", "cycles"): "words",
+    ("elements", "bytes/element"): "bytes",
+    ("words", "bytes/element"): "bytes",
+}
+
+#: Legal unit-producing divisions, ``(numerator, denominator) ->
+#: quotient``.  Any same-unit division is additionally dimensionless.
+UNIT_DIV_TABLE: Mapping[Tuple[str, str], str] = {
+    ("bytes", "bytes/s"): "s",
+    ("bytes", "bytes/cycle"): "cycles",
+    ("words", "words/cycle"): "cycles",
+    ("cycles", "hz"): "s",
+    ("bytes", "s"): "bytes/s",
+    ("bytes", "cycles"): "bytes/cycle",
+    ("words", "cycles"): "words/cycle",
+    ("bytes/s", "hz"): "bytes/cycle",
+    ("bytes", "bytes/element"): "elements",
+    ("bytes", "elements"): "bytes/element",
+}
+
+#: Identifier names whose suffix lies: map to the real unit, or to
+#: ``None`` to force "unknown" (opting a name out of inference).
+UNIT_NAME_OVERRIDES: Mapping[str, Optional[str]] = {}
+
+# ----------------------------------------------------------------------
+# R6 — concurrency discipline
+# ----------------------------------------------------------------------
+#: The machine-readable half of docs/search_engine.md's "Concurrency
+#: contract".  Per module: ``locks`` maps a guarded field expression
+#: (``"self.stats"`` for instance state, a bare name for module
+#: globals) to the lock expression that must be held; ``write_only``
+#: lists guarded fields whose *reads* are declared benignly racy;
+#: ``held_by`` lists function qualnames documented to run with the
+#: lock already held (internal helpers only ever called under it);
+#: ``loop_confined`` lists fields owned by the event loop (never
+#: locked, never touched off-loop); ``executor_only`` lists functions
+#: that run on executor threads and so must never touch loop-confined
+#: state (nor be called directly from a coroutine).
+LOCK_INVENTORY: Mapping[str, Mapping[str, object]] = {
+    "repro.core.cache": {
+        "locks": {
+            "self.stats": "self._lock",
+            "self._writes_since_evict": "self._lock",
+            "_instances": "_INSTANCES_LOCK",
+            "_default_dir": "_DEFAULT_DIR_LOCK",
+        },
+        "write_only": (),
+        "held_by": (
+            "PersistentCache._get",
+            "PersistentCache._get_observed",
+            "PersistentCache._put",
+            "PersistentCache._put_observed",
+            "PersistentCache._discard_corrupt",
+            "PersistentCache._evict",
+        ),
+        "loop_confined": (),
+        "executor_only": (),
+    },
+    "repro.core.scaleout": {
+        "locks": {
+            "_totals": "_TOTALS_LOCK",
+            "_default_exhaustive": "_DEFAULT_LOCK",
+        },
+        "write_only": (),
+        "held_by": (),
+        "loop_confined": (),
+        "executor_only": (),
+    },
+    "repro.obs.metrics": {
+        "locks": {
+            "self.value": "_LOCK",
+            "self.count": "_LOCK",
+            "self.total": "_LOCK",
+            "self.min": "_LOCK",
+            "self.max": "_LOCK",
+            "self._instruments": "_LOCK",
+        },
+        "write_only": (),
+        "held_by": (
+            "Counter.as_dict",
+            "Counter.merge_dict",
+            "Gauge.as_dict",
+            "Gauge.merge_dict",
+            "Histogram.as_dict",
+            "Histogram.merge_dict",
+            "MetricsRegistry._get",
+        ),
+        "loop_confined": (),
+        "executor_only": (),
+    },
+    "repro.serve.scheduler": {
+        "locks": {},
+        "write_only": (),
+        "held_by": (),
+        "loop_confined": (
+            "self._queue",
+            "self._wakeup",
+            "self._memo",
+            "self._stats",
+            "self._draining",
+            "self._loop_task",
+            "self._inflight",
+        ),
+        "executor_only": ("CoalescingScheduler._map_queries",),
+    },
+    "repro.serve.server": {
+        "locks": {},
+        "write_only": (),
+        "held_by": (),
+        "loop_confined": (
+            "self._conn_tasks",
+            "self._writers",
+            "self._draining",
+            "self._done",
+        ),
+        "executor_only": ("_experiment_payload",),
+    },
+}
+
+#: Modules whose coroutines drive the serving event loop: no blocking
+#: primitive may be statically reachable from an ``async def`` here
+#: except through a declared executor-only escape hatch.
+EVENT_LOOP_MODULES: FrozenSet[str] = frozenset({
+    "repro.serve.server",
+    "repro.serve.scheduler",
+})
+
+#: Blocking primitives by dotted chain / bare name.  ``time.sleep`` on
+#: the loop stalls every connection; sync file I/O and subprocesses
+#: are the same failure dressed differently.
+BLOCKING_CALL_CHAINS: FrozenSet[str] = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "socket.create_connection",
+    "shutil.rmtree",
+    "shutil.copytree",
+})
+
+BLOCKING_CALL_NAMES: FrozenSet[str] = frozenset({"open", "input"})
+
+# ----------------------------------------------------------------------
+# R7 — bound purity
+# ----------------------------------------------------------------------
+#: The admissible-bound roots: branch-and-bound correctness (the
+#: hypothesis suites' admissibility sweeps) assumes these functions
+#: and everything they transitively call are pure — an impure edit
+#: silently turns "provably no winner pruned" into "maybe".
+BOUND_FUNCTIONS: Mapping[str, FrozenSet[str]] = _table({
+    "repro.core.candidates": {"family_lower_bound"},
+    "repro.arch.fabric": {"collective_floor_s"},
+    "repro.core.scaleout": {"evaluate_partition_grid"},
+})
+
+#: Call targets allowed inside a bound closure without resolution:
+#: pure math and array arithmetic.
+PURE_CALL_PREFIXES: Tuple[str, ...] = ("math.", "np.", "numpy.")
+
+#: Allowlisted bare callables: pure builtins, constructors of plain
+#: containers, exception types (raising is not a side effect the
+#: bound contract cares about), and dataclasses.replace.
+PURE_CALL_NAMES: FrozenSet[str] = frozenset({
+    "abs", "all", "any", "bool", "dict", "divmod", "enumerate",
+    "filter", "float", "frozenset", "getattr", "hasattr", "int",
+    "isinstance", "issubclass", "iter", "len", "list", "map", "max",
+    "min", "next", "pow", "range", "repr", "reversed", "round", "set",
+    "sorted", "str", "sum", "tuple", "zip",
+    "replace", "dataclasses.replace", "asdict", "field",
+    "ValueError", "TypeError", "KeyError", "IndexError",
+    "RuntimeError", "AssertionError", "NotImplementedError",
+    "ZeroDivisionError", "OverflowError", "ArithmeticError",
+})
+
+#: Dotted-chain prefixes that are impure on their face: clocks, RNGs,
+#: process/filesystem access.  A bound that consults any of these is
+#: no longer a function of its arguments.
+PURE_BANNED_PREFIXES: Tuple[str, ...] = (
+    "time.", "random.", "os.", "subprocess.", "secrets.", "uuid.",
+    "socket.", "shutil.", "tempfile.", "sys.",
+)
+
+PURE_BANNED_NAMES: FrozenSet[str] = frozenset({
+    "open", "print", "input", "exec", "eval", "globals", "vars",
+    "setattr", "delattr", "hash",
+})
+
+#: Method names that mutate their receiver: calling one on a
+#: parameter alias (or module global) inside a bound closure is a
+#: purity violation even though the call itself resolves nowhere.
+MUTATOR_METHODS: FrozenSet[str] = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "write", "writelines", "fill", "sort_values", "put",
+})
+
 _BATCH_MODULE = "repro.core.batch"
 _CACHE_MODULE = "repro.core.cache"
 _FORMULA_MODULES = frozenset(POLYMORPHIC_CORES)
@@ -222,6 +487,34 @@ class Contracts:
     batch_module: str = _BATCH_MODULE
     cache_module: str = _CACHE_MODULE
     formula_modules: FrozenSet[str] = _FORMULA_MODULES
+    # -- R5: unit consistency ------------------------------------------
+    unit_suffixes: Tuple[Tuple[str, str], ...] = UNIT_SUFFIXES
+    unit_modules: FrozenSet[str] = UNIT_MODULES
+    unit_mul_table: Mapping[Tuple[str, str], str] = field(
+        default_factory=lambda: UNIT_MUL_TABLE
+    )
+    unit_div_table: Mapping[Tuple[str, str], str] = field(
+        default_factory=lambda: UNIT_DIV_TABLE
+    )
+    unit_name_overrides: Mapping[str, Optional[str]] = field(
+        default_factory=lambda: UNIT_NAME_OVERRIDES
+    )
+    # -- R6: concurrency discipline ------------------------------------
+    lock_inventory: Mapping[str, Mapping[str, object]] = field(
+        default_factory=lambda: LOCK_INVENTORY
+    )
+    event_loop_modules: FrozenSet[str] = EVENT_LOOP_MODULES
+    blocking_call_chains: FrozenSet[str] = BLOCKING_CALL_CHAINS
+    blocking_call_names: FrozenSet[str] = BLOCKING_CALL_NAMES
+    # -- R7: bound purity ----------------------------------------------
+    bound_functions: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: BOUND_FUNCTIONS
+    )
+    pure_call_prefixes: Tuple[str, ...] = PURE_CALL_PREFIXES
+    pure_call_names: FrozenSet[str] = PURE_CALL_NAMES
+    pure_banned_prefixes: Tuple[str, ...] = PURE_BANNED_PREFIXES
+    pure_banned_names: FrozenSet[str] = PURE_BANNED_NAMES
+    mutator_methods: FrozenSet[str] = MUTATOR_METHODS
     #: Modules the determinism rule (R3) constrains.  Defaults to the
     #: required fingerprint set; :meth:`discover` widens it with
     #: whatever ``cache.py`` actually lists, so an *extra* fingerprinted
@@ -250,6 +543,80 @@ class Contracts:
                 else None
             ),
         )
+
+
+def _jsonable(value):
+    """Recursively convert contract tables to a stable JSON shape.
+
+    Frozensets become sorted lists; mappings sort by (stringified)
+    key; tuple keys join with ``" * "`` so the mul/div tables read as
+    ``"bytes * hz"``.
+    """
+    if isinstance(value, (frozenset, set)):
+        return sorted(value)
+    if isinstance(value, Mapping):
+        out = {}
+        for key in sorted(value, key=str):
+            name = " * ".join(key) if isinstance(key, tuple) else key
+            out[name] = _jsonable(value[key])
+        return out
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def dump_contracts() -> str:
+    """The static contract tables as a stable JSON document.
+
+    This is the ``--dump-contracts`` payload CI diffs against
+    ``docs/contracts.json``: only the *static* halves are included
+    (the discovered halves depend on the tree being linted), so the
+    output is byte-stable for a given source of this module.
+    """
+    import json
+
+    payload = {
+        "version": 2,
+        "tool": "repro.lint",
+        "R1": {"ceil_quantized": _jsonable(CEIL_QUANTIZED)},
+        "R2": {
+            "polymorphic_cores": _jsonable(POLYMORPHIC_CORES),
+            "scalar_lut_helpers": _jsonable(SCALAR_LUT_HELPERS),
+            "non_formula_imports": _jsonable(NON_FORMULA_IMPORTS),
+            "scalar_flag_params": _jsonable(SCALAR_FLAG_PARAMS),
+        },
+        "R3": {
+            "required_fingerprint_modules": _jsonable(
+                REQUIRED_FINGERPRINT_MODULES
+            ),
+            "fingerprint_excluded_prefixes": _jsonable(
+                FINGERPRINT_EXCLUDED_PREFIXES
+            ),
+        },
+        "R4": {"cache_key_classes": _jsonable(CACHE_KEY_CLASSES)},
+        "R5": {
+            "unit_suffixes": _jsonable(dict(UNIT_SUFFIXES)),
+            "unit_modules": _jsonable(UNIT_MODULES),
+            "mul_table": _jsonable(UNIT_MUL_TABLE),
+            "div_table": _jsonable(UNIT_DIV_TABLE),
+            "name_overrides": _jsonable(UNIT_NAME_OVERRIDES),
+        },
+        "R6": {
+            "lock_inventory": _jsonable(LOCK_INVENTORY),
+            "event_loop_modules": _jsonable(EVENT_LOOP_MODULES),
+            "blocking_call_chains": _jsonable(BLOCKING_CALL_CHAINS),
+            "blocking_call_names": _jsonable(BLOCKING_CALL_NAMES),
+        },
+        "R7": {
+            "bound_functions": _jsonable(BOUND_FUNCTIONS),
+            "pure_call_prefixes": _jsonable(PURE_CALL_PREFIXES),
+            "pure_call_names": _jsonable(PURE_CALL_NAMES),
+            "banned_prefixes": _jsonable(PURE_BANNED_PREFIXES),
+            "banned_names": _jsonable(PURE_BANNED_NAMES),
+            "mutator_methods": _jsonable(MUTATOR_METHODS),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def parse_fingerprint_modules(cache_path: Path) -> Optional[Tuple[str, ...]]:

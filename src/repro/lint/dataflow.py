@@ -1,0 +1,391 @@
+"""Shared intraprocedural dataflow core for the lint rules (R5-R7).
+
+R1-R4 are pattern matchers over one module's AST.  The second-
+generation rules need more: unit inference propagates values through
+assignments (R5), the concurrency rule must know which locks are held
+at a statement (R6), and the bound-purity rule walks a *cross-module*
+static call graph (R7).  This module is the shared substrate:
+
+* :class:`ModuleIndex` — one unit's functions (by qualified name),
+  classes, and import map (``alias -> (module, name)``), including
+  function-local ``from repro... import`` statements, which the
+  candidate planner uses to break an import cycle.
+* :class:`ProgramIndex` — all units of a run, with
+  :meth:`ProgramIndex.resolve_call`: a best-effort resolution of a
+  call expression to a function/class defined somewhere in the linted
+  tree, or to a dotted external name.
+* :func:`walk_with_locks` — statement walker yielding every node of a
+  function body together with the set of lock expressions held there
+  (``with <lock>:`` blocks; ``async with`` is asyncio-side and never
+  counts as a thread lock).
+* :func:`alias_closure` — fixpoint of "names that are direct handles
+  to one of the seed objects" (plain copies and attribute/subscript
+  loads; call results are fresh objects).
+
+Everything is a static approximation: resolution is by name within
+the linted unit set and degrades to ``None``/external when a target
+module is not part of the run, so single-file runs and fixtures stay
+quiet instead of guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleUnit
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleIndex",
+    "ProgramIndex",
+    "ResolvedCall",
+    "attr_chain",
+    "chain_root",
+    "walk_with_locks",
+    "walk_function",
+    "alias_closure",
+    "param_names",
+]
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted spelling of a plain name/attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def chain_root(node: ast.AST) -> Optional[str]:
+    """Leftmost name of a name/attribute/subscript chain, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def param_names(fn: ast.AST) -> List[str]:
+    """All parameter names of a function definition, in order."""
+    args = fn.args
+    names = [
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args)
+            + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition located inside a module."""
+
+    module: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    is_method: bool
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleIndex:
+    """Functions, classes and imports of one :class:`ModuleUnit`."""
+
+    unit: ModuleUnit
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: simple name -> qualnames carrying it (methods included).
+    by_name: Dict[str, List[str]] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: alias -> (module, name); ``name`` is None for module imports.
+    imports: Dict[str, Tuple[str, Optional[str]]] = field(
+        default_factory=dict
+    )
+    #: names bound at module level (constants, tables, singletons).
+    module_globals: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def build(cls, unit: ModuleUnit) -> "ModuleIndex":
+        index = cls(unit=unit)
+        stack: List[Tuple[str, ast.AST, bool]] = [("", unit.tree, False)]
+        while stack:
+            prefix, node, in_class = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qual = f"{prefix}{child.name}"
+                    info = FunctionInfo(
+                        module=unit.module,
+                        qualname=qual,
+                        node=child,
+                        is_async=isinstance(
+                            child, ast.AsyncFunctionDef
+                        ),
+                        is_method=in_class,
+                    )
+                    index.functions[qual] = info
+                    index.by_name.setdefault(child.name, []).append(qual)
+                    stack.append((f"{qual}.", child, False))
+                elif isinstance(child, ast.ClassDef):
+                    index.classes.setdefault(child.name, child)
+                    stack.append((f"{child.name}.", child, True))
+        # Imports anywhere in the file: function-local imports are how
+        # the tree breaks cycles (candidates -> engine), so they count.
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name if alias.asname else
+                        alias.name.split(".")[0]
+                    )
+                    index.imports[bound] = (target, None)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports: not used in this tree
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    index.imports[bound] = (node.module, alias.name)
+        for stmt in unit.tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    index.module_globals.add(target.id)
+        return index
+
+
+@dataclass(frozen=True)
+class ResolvedCall:
+    """Outcome of :meth:`ProgramIndex.resolve_call`.
+
+    Exactly one of the three shapes:
+
+    * ``function`` set — a def found in the linted tree; descend.
+    * ``klass`` set — a class found in the linted tree (constructor
+      call or ``Class.method`` access; ``method`` names the attribute
+      for the latter).
+    * neither set — ``external`` carries the dotted spelling (or bare
+      name) for allow/deny-list matching; ``unknown_repro`` is True
+      when the name resolved into ``repro.*`` but the module is not
+      part of this run (degrade silently).
+    """
+
+    function: Optional[FunctionInfo] = None
+    klass: Optional[ast.ClassDef] = None
+    klass_module: Optional[str] = None
+    method: Optional[str] = None
+    external: Optional[str] = None
+    unknown_repro: bool = False
+
+
+class ProgramIndex:
+    """All module indexes of one lint run, plus call resolution."""
+
+    def __init__(self, indexes: Dict[str, ModuleIndex]) -> None:
+        self.modules = indexes
+
+    @classmethod
+    def from_units(cls, units) -> "ProgramIndex":
+        return cls({
+            unit.module: ModuleIndex.build(unit) for unit in units
+        })
+
+    def get(self, module: str) -> Optional[ModuleIndex]:
+        return self.modules.get(module)
+
+    def _resolve_in_module(
+        self, module: str, name: str
+    ) -> ResolvedCall:
+        """Resolve ``name`` (simple or dotted-on-class) inside one
+        module of the run, following one level of re-import."""
+        index = self.modules.get(module)
+        if index is None:
+            return ResolvedCall(
+                external=f"{module}.{name}",
+                unknown_repro=module.startswith("repro"),
+            )
+        head, _, rest = name.partition(".")
+        if not rest:
+            quals = index.by_name.get(name, [])
+            for qual in quals:
+                if "." not in qual:  # module-level def wins
+                    return ResolvedCall(function=index.functions[qual])
+            if quals:
+                return ResolvedCall(function=index.functions[quals[0]])
+            if name in index.classes:
+                return ResolvedCall(
+                    klass=index.classes[name], klass_module=module
+                )
+        else:
+            if head in index.classes:
+                fn = index.functions.get(f"{head}.{rest}")
+                if fn is not None:
+                    return ResolvedCall(function=fn)
+                return ResolvedCall(
+                    klass=index.classes[head],
+                    klass_module=module,
+                    method=rest,
+                )
+        target = index.imports.get(head)
+        if target is not None:
+            t_module, t_name = target
+            if t_name is not None and not rest:
+                return self._resolve_in_module(t_module, t_name)
+        return ResolvedCall(
+            external=name,
+            unknown_repro=module.startswith("repro"),
+        )
+
+    def resolve_call(
+        self, module: str, func: ast.expr
+    ) -> ResolvedCall:
+        """Resolve a call's ``func`` expression from inside ``module``.
+
+        Handles bare names (local defs, ``from x import y`` aliases),
+        dotted chains rooted at a module import (``eng.bound(...)``)
+        or at a class (``StagingPolicy.all_enabled()``).  Method calls
+        on arbitrary objects (``obj.method()``) resolve to ``external``
+        with the dotted spelling, or ``None`` external for computed
+        bases (``xs[0].method()``).
+        """
+        index = self.modules.get(module)
+        chain = attr_chain(func)
+        if chain is None:
+            return ResolvedCall()
+        head, _, rest = chain.partition(".")
+        if index is not None:
+            if not rest:
+                local = self._resolve_in_module(module, head)
+                if local.function or local.klass:
+                    return local
+                target = index.imports.get(head)
+                if target is not None:
+                    t_module, t_name = target
+                    if t_name is not None:
+                        return self._resolve_in_module(t_module, t_name)
+                return ResolvedCall(external=head)
+            if head in index.classes:
+                return self._resolve_in_module(module, chain)
+            target = index.imports.get(head)
+            if target is not None:
+                t_module, t_name = target
+                if t_name is None:
+                    # module alias: eng.objective_lower_bound
+                    return self._resolve_in_module(t_module, rest)
+                # imported class: StagingPolicy.all_enabled
+                resolved = self._resolve_in_module(
+                    t_module, f"{t_name}.{rest}"
+                )
+                if resolved.function or resolved.klass:
+                    return resolved
+                return ResolvedCall(
+                    external=chain,
+                    unknown_repro=resolved.unknown_repro,
+                )
+        return ResolvedCall(external=chain)
+
+
+# ----------------------------------------------------------------------
+# held-lock statement walker (R6)
+# ----------------------------------------------------------------------
+def walk_with_locks(
+    fn: ast.AST, lock_exprs: FrozenSet[str]
+) -> Iterator[Tuple[ast.AST, FrozenSet[str]]]:
+    """Yield ``(node, held)`` for every node in the function body.
+
+    ``held`` is the set of contract lock expressions (dotted chains
+    like ``"self._lock"`` or ``"_TOTALS_LOCK"``) whose ``with`` block
+    encloses the node.  ``async with`` never contributes (asyncio
+    locks are loop-cooperative, not thread locks).  Nested function
+    and class definitions are yielded but not entered: a nested def's
+    body does not run under the lock of its definition site.
+    """
+
+    def visit(
+        node: ast.AST, held: FrozenSet[str]
+    ) -> Iterator[Tuple[ast.AST, FrozenSet[str]]]:
+        yield node, held
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                   ast.ClassDef)
+        ) and node is not fn:
+            return
+        if isinstance(node, ast.With):
+            inner = set(held)
+            for item in node.items:
+                chain = attr_chain(item.context_expr)
+                if chain in lock_exprs:
+                    inner.add(chain)
+                yield from visit(item.context_expr, held)
+            entered = frozenset(inner)
+            for stmt in node.body:
+                yield from visit(stmt, entered)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, held)
+
+    for stmt in getattr(fn, "body", []):
+        yield from visit(stmt, frozenset())
+
+
+def walk_function(fn: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` over a def's body, nested defs included, without
+    re-yielding the def node itself."""
+    for stmt in getattr(fn, "body", []):
+        yield from ast.walk(stmt)
+
+
+# ----------------------------------------------------------------------
+# alias propagation (R7)
+# ----------------------------------------------------------------------
+def alias_closure(fn: ast.AST, seeds: Set[str]) -> Set[str]:
+    """Names that are direct handles to one of the seed objects.
+
+    Propagates through plain copies (``a = seed``) and attribute or
+    subscript *loads* (``a = seed.field``, ``a = seed[i]`` — mutating
+    ``a`` then mutates the seed's interior).  Call results and
+    arithmetic are fresh objects and do not propagate, which keeps
+    locals derived *from* parameters (``n = len(xs)``) out of the
+    alias set.
+    """
+    aliases = set(seeds)
+    for _ in range(10):  # fixpoint, depth-bounded
+        grew = False
+        for node in walk_function(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            root = chain_root(value)
+            if not isinstance(
+                value, (ast.Name, ast.Attribute, ast.Subscript)
+            ) or root not in aliases:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and (
+                    target.id not in aliases
+                ):
+                    aliases.add(target.id)
+                    grew = True
+        if not grew:
+            break
+    return aliases

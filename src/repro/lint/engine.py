@@ -12,13 +12,18 @@ Suppressions are per-line::
 
 ``ignore[R1,R3]`` suppresses the listed rules on that physical line;
 a bare ``ignore`` suppresses every rule.  Suppressed findings are kept
-(reporters show them on request) but do not fail the run.
+(reporters show them on request) but do not fail the run.  The
+``-- <reason>`` trailer is optional for R1-R4 but **mandatory** for the
+dataflow rules (:data:`REASON_REQUIRED_RULES`): a reason-less ignore
+does not suppress R5/R6/R7, so every surviving suppression documents
+why the analyzer is wrong there.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
@@ -26,7 +31,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
+    "REASON_REQUIRED_RULES",
     "Finding",
+    "Suppression",
     "ModuleUnit",
     "LintError",
     "LintResult",
@@ -37,8 +44,12 @@ __all__ = [
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
+#: Rules whose suppressions must carry a ``-- <reason>`` trailer.
+REASON_REQUIRED_RULES = frozenset({"R5", "R6", "R7"})
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?"
+    r"(?:\s*--\s*(\S.*?)\s*$)?"
 )
 
 
@@ -69,6 +80,16 @@ class Finding:
         )
 
 
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro-lint: ignore`` marker on a physical line."""
+
+    #: suppressed rule ids; ``None`` means "all rules".
+    rules: Optional[FrozenSet[str]] = None
+    #: the ``-- <reason>`` trailer, if present.
+    reason: Optional[str] = None
+
+
 @dataclass
 class ModuleUnit:
     """One parsed source file plus everything the rules need."""
@@ -77,10 +98,8 @@ class ModuleUnit:
     module: str
     source: str
     tree: ast.Module
-    #: line -> suppressed rule ids; ``None`` means "all rules".
-    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
-        default_factory=dict
-    )
+    #: line -> suppression marker on that line.
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
 
     @classmethod
     def from_source(
@@ -116,28 +135,31 @@ class ModuleUnit:
         )
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        rules = self.suppressions.get(line, False)
-        if rules is False:
+        marker = self.suppressions.get(line)
+        if marker is None:
             return False
-        return rules is None or rule in rules
+        if marker.rules is not None and rule not in marker.rules:
+            return False
+        if rule in REASON_REQUIRED_RULES and not marker.reason:
+            return False
+        return True
 
 
-def parse_suppressions(
-    source: str,
-) -> Dict[int, Optional[FrozenSet[str]]]:
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
     """Per-line suppression markers of one source file."""
-    table: Dict[int, Optional[FrozenSet[str]]] = {}
+    table: Dict[int, Suppression] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
         listed = match.group(1)
         if listed is None or not listed.strip():
-            table[lineno] = None
+            rules = None
         else:
-            table[lineno] = frozenset(
+            rules = frozenset(
                 part.strip() for part in listed.split(",") if part.strip()
             )
+        table[lineno] = Suppression(rules=rules, reason=match.group(2))
     return table
 
 
@@ -162,6 +184,8 @@ class LintResult:
 
     findings: List[Finding]
     files_checked: int = 0
+    #: rule id -> wall-clock seconds spent in that rule's checks.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def unsuppressed(self) -> List[Finding]:
@@ -197,17 +221,50 @@ class LintEngine:
         self.rules = list(rules)
 
     def lint_units(self, units: Iterable[ModuleUnit]) -> LintResult:
+        units = list(units)
         findings: List[Finding] = []
-        count = 0
+        timings: Dict[str, float] = {
+            rule.id: 0.0 for rule in self.rules
+        }
+        module_rules = [
+            r for r in self.rules if not getattr(r, "program", False)
+        ]
+        program_rules = [
+            r for r in self.rules if getattr(r, "program", False)
+        ]
         for unit in units:
-            count += 1
-            for rule in self.rules:
+            for rule in module_rules:
+                start = time.perf_counter()
                 for finding in rule.check(unit, self.contracts):
                     if unit.is_suppressed(finding.rule, finding.line):
                         finding = replace(finding, suppressed=True)
                     findings.append(finding)
+                timings[rule.id] += time.perf_counter() - start
+        if program_rules:
+            # Whole-program rules see every unit at once, through a
+            # shared cross-module index built exactly once per run.
+            from repro.lint.dataflow import ProgramIndex
+
+            index = ProgramIndex.from_units(units)
+            by_path = {unit.path: unit for unit in units}
+            for rule in program_rules:
+                start = time.perf_counter()
+                for finding in rule.check_program(
+                    units, index, self.contracts
+                ):
+                    home = by_path.get(finding.path)
+                    if home is not None and home.is_suppressed(
+                        finding.rule, finding.line
+                    ):
+                        finding = replace(finding, suppressed=True)
+                    findings.append(finding)
+                timings[rule.id] += time.perf_counter() - start
         findings.sort(key=Finding.sort_key)
-        return LintResult(findings=findings, files_checked=count)
+        return LintResult(
+            findings=findings,
+            files_checked=len(units),
+            timings=timings,
+        )
 
     def lint_paths(self, paths: Iterable[Path]) -> LintResult:
         return self.lint_units(

@@ -1,16 +1,20 @@
 """Text and JSON reporters for lint results.
 
-The JSON schema is stable (``"version": 1``) so CI and editor
+The JSON schema is stable (``"version": 2``) so CI and editor
 integrations can parse it::
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro.lint",
       "findings": [
         {"rule": "R1", "severity": "error", "path": "...",
          "line": 12, "col": 4, "message": "...", "suppressed": false},
         ...
       ],
+      "rules": {
+        "R1": {"findings": 2, "unsuppressed": 1, "wall_time_s": 0.0131},
+        ...
+      },
       "summary": {"total": 3, "unsuppressed": 1, "suppressed": 2,
                   "errors": 1, "warnings": 0, "files_checked": 40,
                   "ok": false}
@@ -19,6 +23,9 @@ integrations can parse it::
 ``findings`` includes suppressed entries (marked as such) so the
 suppression inventory itself stays reviewable; ``ok`` mirrors the
 process exit status (true iff there are zero unsuppressed findings).
+``rules`` (new in v2) carries per-rule finding counts and wall time
+so analyzer cost can be tracked alongside the perf trajectory; the
+same numbers surface as ``lint.*`` obs metrics under ``--trace``.
 """
 
 from __future__ import annotations
@@ -28,9 +35,16 @@ from typing import Dict
 
 from repro.lint.engine import SEVERITY_ERROR, LintResult
 
-__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json", "summary"]
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_text",
+    "render_json",
+    "summary",
+    "per_rule",
+    "emit_metrics",
+]
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def summary(result: LintResult) -> Dict[str, object]:
@@ -48,6 +62,54 @@ def summary(result: LintResult) -> Dict[str, object]:
         "files_checked": result.files_checked,
         "ok": result.ok,
     }
+
+
+def per_rule(result: LintResult) -> Dict[str, Dict[str, object]]:
+    """Finding counts and wall time keyed by rule id (schema v2)."""
+    rules: Dict[str, Dict[str, object]] = {}
+    for rule_id in sorted(result.timings):
+        rules[rule_id] = {
+            "findings": 0,
+            "unsuppressed": 0,
+            "wall_time_s": round(result.timings[rule_id], 6),
+        }
+    for finding in result.findings:
+        entry = rules.setdefault(
+            finding.rule,
+            {"findings": 0, "unsuppressed": 0, "wall_time_s": 0.0},
+        )
+        entry["findings"] += 1
+        if not finding.suppressed:
+            entry["unsuppressed"] += 1
+    return rules
+
+
+def emit_metrics(result: LintResult) -> None:
+    """Record the per-rule stats on the active obs registry, if any.
+
+    Counter/gauge names are stable (``lint.findings``,
+    ``lint.rule.<id>.findings``, ``lint.rule.<id>.wall_time_s``) so
+    ``--trace`` runs land in ``BENCH_pipeline.json``-style
+    trajectories unchanged.
+    """
+    from repro.obs import metrics
+
+    registry = metrics.active()
+    if registry is None:
+        return
+    stats = summary(result)
+    registry.counter("lint.files_checked").inc(
+        int(stats["files_checked"])
+    )
+    registry.counter("lint.findings").inc(int(stats["total"]))
+    registry.counter("lint.unsuppressed").inc(int(stats["unsuppressed"]))
+    for rule_id, entry in per_rule(result).items():
+        registry.counter(f"lint.rule.{rule_id}.findings").inc(
+            int(entry["findings"])
+        )
+        registry.gauge(f"lint.rule.{rule_id}.wall_time_s").set(
+            float(entry["wall_time_s"])
+        )
 
 
 def render_text(result: LintResult, show_suppressed: bool = False) -> str:
@@ -88,6 +150,7 @@ def render_json(result: LintResult) -> str:
             }
             for f in result.findings
         ],
+        "rules": per_rule(result),
         "summary": summary(result),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

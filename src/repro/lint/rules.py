@@ -894,9 +894,21 @@ class ConfigImmutabilityRule(Rule):
 
 
 def default_rules() -> Tuple[Rule, ...]:
+    # Imported here, not at module top, so the pattern rules (this
+    # file) and the dataflow rules (rules_flow) can both subclass Rule
+    # without an import cycle.
+    from repro.lint.rules_flow import (
+        BoundPurityRule,
+        ConcurrencyRule,
+        UnitConsistencyRule,
+    )
+
     return (
         CeilQuantizationRule(),
         ShapePolymorphismRule(),
         DeterminismRule(),
         ConfigImmutabilityRule(),
+        UnitConsistencyRule(),
+        ConcurrencyRule(),
+        BoundPurityRule(),
     )

@@ -55,7 +55,9 @@ class TestJsonReporter:
         payload = json.loads(render_json(self.lint_fixture()))
         assert payload["version"] == JSON_SCHEMA_VERSION
         assert payload["tool"] == "repro.lint"
-        assert set(payload) == {"version", "tool", "summary", "findings"}
+        assert set(payload) == {
+            "version", "tool", "summary", "findings", "rules",
+        }
         assert set(payload["summary"]) == {
             "total", "unsuppressed", "suppressed", "errors",
             "warnings", "files_checked", "ok",
@@ -67,6 +69,17 @@ class TestJsonReporter:
             }
             assert isinstance(finding["line"], int)
             assert finding["severity"] in ("error", "warning")
+        # v2: every registered rule reports counts and wall time.
+        assert set(payload["rules"]) == {
+            rule.id for rule in default_rules()
+        }
+        for entry in payload["rules"].values():
+            assert set(entry) == {
+                "findings", "unsuppressed", "wall_time_s",
+            }
+            assert entry["wall_time_s"] >= 0.0
+        assert payload["rules"]["R1"]["findings"] == 2
+        assert payload["rules"]["R1"]["unsuppressed"] == 1
 
     def test_summary_counts(self):
         result = self.lint_fixture()
@@ -155,6 +168,56 @@ class TestCliFrontend:
         assert status == 0
         for rule in default_rules():
             assert rule.id in out
+
+
+class TestDumpContracts:
+    def test_dump_is_valid_json_with_all_rule_sections(self, capsys):
+        status = main(["--dump-contracts"])
+        payload = json.loads(capsys.readouterr().out)
+        assert status == 0
+        assert payload["version"] == 2
+        for section in ("R1", "R2", "R3", "R4", "R5", "R6", "R7"):
+            assert section in payload, sorted(payload)
+
+    def test_dump_is_byte_stable(self, capsys):
+        main(["--dump-contracts"])
+        first = capsys.readouterr().out
+        main(["--dump-contracts"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_checked_in_snapshot_is_current(self, capsys):
+        # Mirrors the CI gate: docs/contracts.json must equal the live
+        # tables.  Regenerate with
+        #   PYTHONPATH=src python -m repro.lint --dump-contracts \
+        #     > docs/contracts.json
+        main(["--dump-contracts"])
+        live = capsys.readouterr().out
+        snapshot = (REPO_ROOT / "docs" / "contracts.json").read_text()
+        assert live == snapshot
+
+
+class TestTraceFlag:
+    def test_trace_emits_lint_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "lint_trace.jsonl"
+        status = main([str(SRC_REPRO / "core" / "tiling.py"),
+                       "--trace", str(trace)])
+        capsys.readouterr()
+        assert status == 0
+        assert trace.exists()
+        data = {}
+        for line in trace.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("type") == "metrics":
+                data.update(record["data"])
+        names = {n for n in data if n.startswith("lint.")}
+        assert "lint.files_checked" in names, sorted(names)
+        assert "lint.findings" in names
+        assert any(n.startswith("lint.rule.R5.") for n in names), (
+            sorted(names)
+        )
+        assert data["lint.files_checked"]["value"] == 1
+        assert data["lint.rule.R5.wall_time_s"]["kind"] == "gauge"
 
 
 class TestModuleEntryPoint:

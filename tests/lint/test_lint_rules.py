@@ -598,9 +598,9 @@ class TestEngine:
                 rules=[CeilQuantizationRule(), CeilQuantizationRule()],
             )
 
-    def test_default_rules_cover_r1_to_r4(self):
+    def test_default_rules_cover_r1_to_r7(self):
         assert [r.id for r in default_rules()] == [
-            "R1", "R2", "R3", "R4",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7",
         ]
 
     def test_findings_sorted_by_location(self):

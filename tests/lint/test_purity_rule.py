@@ -1,0 +1,307 @@
+"""Fixture suite for R7 (bound purity).
+
+R7 is a whole-program rule: the admissible-bound roots and their
+transitive static call graph are checked across module boundaries,
+so most fixtures here feed the engine several units at once.  The
+no-false-positive half runs the rule over the entire real tree with
+the shipped contract (the actual bound closure is ~60 functions).
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import Contracts, LintEngine, ModuleUnit
+from repro.lint.rules_flow import BoundPurityRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+CONTRACTS = Contracts(
+    bound_functions={"fix.bounds": frozenset({"root"})},
+)
+
+
+def run_lint(*sources, contracts=CONTRACTS):
+    """Lint (module, source) pairs together as one program."""
+    units = [
+        ModuleUnit.from_source(module, textwrap.dedent(source))
+        for module, source in sources
+    ]
+    engine = LintEngine(contracts, rules=[BoundPurityRule()])
+    return engine.lint_units(units)
+
+
+def only_finding(result):
+    assert len(result.findings) == 1, [
+        f.render() for f in result.findings
+    ]
+    return result.findings[0]
+
+
+class TestPositive:
+    def test_clock_call_in_root_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            import time
+
+            def root(cfg):
+                return time.time()
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 4
+        assert "time.time" in finding.message
+
+    def test_rng_in_transitive_helper_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            import random
+
+            def _jitter():
+                return random.random()
+
+            def root(cfg):
+                return _jitter()
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 4
+        assert "fix.bounds:root" in finding.message
+
+    def test_impurity_across_module_boundary_flags(self):
+        result = run_lint(
+            (
+                "fix.bounds",
+                """\
+                from fix.helpers import floor_estimate
+
+                def root(cfg):
+                    return floor_estimate(cfg)
+                """,
+            ),
+            (
+                "fix.helpers",
+                """\
+                import time
+
+                def floor_estimate(cfg):
+                    return time.perf_counter()
+                """,
+            ),
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 4
+        assert finding.path.endswith("<fixture>")
+        assert "fix.helpers:floor_estimate" in finding.message
+        assert "bound closure of 'fix.bounds:root'" in finding.message
+
+    def test_parameter_attribute_store_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def root(cfg):
+                cfg.cached = 1
+                return 0
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 2
+        assert "stores into 'cfg'" in finding.message
+
+    def test_mutator_method_on_parameter_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def root(cfg, seen):
+                seen.append(cfg)
+                return 0
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 2
+        assert ".append()" in finding.message
+
+    def test_mutator_through_alias_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def root(cfg):
+                handle = cfg.history
+                handle.clear()
+                return 0
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 3
+
+    def test_global_statement_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            _COUNT = 0
+
+            def root(cfg):
+                global _COUNT
+                _COUNT += 1
+                return _COUNT
+            """,
+        ))
+        findings = [f for f in result.findings if f.rule == "R7"]
+        assert findings and findings[0].line == 4
+        assert "global" in findings[0].message
+
+    def test_module_global_subscript_store_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            _MEMO = {}
+
+            def root(cfg):
+                _MEMO[cfg] = 1
+                return 1
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 4
+
+    def test_unvetted_external_call_flags(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            from mystery import conjure
+
+            def root(cfg):
+                return conjure(cfg)
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7" and finding.line == 4
+        assert "allowlist" in finding.message
+
+    def test_missing_bound_function_warns(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def unrelated():
+                return 0
+            """,
+        ))
+        finding = only_finding(result)
+        assert finding.rule == "R7"
+        assert finding.severity == "warning"
+        assert "not defined" in finding.message
+
+
+class TestPureClosuresStaySilent:
+    def test_math_and_builtins_are_allowed(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            import math
+
+            def root(cfg):
+                spans = [math.ceil(x / 2) for x in cfg.sizes]
+                return max(min(spans), len(spans))
+            """,
+        ))
+        assert result.findings == []
+
+    def test_local_mutation_is_allowed(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def root(cfg):
+                acc = []
+                acc.append(1)
+                best = {}
+                best["k"] = 2
+                return len(acc) + best["k"]
+            """,
+        ))
+        assert result.findings == []
+
+    def test_constructed_object_may_init_itself(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            class Acc:
+                def __init__(self, n):
+                    self.n = n
+
+            def root(cfg):
+                return Acc(cfg.n).n
+            """,
+        ))
+        assert result.findings == []
+
+    def test_nonlocal_inside_closure_is_allowed(self):
+        result = run_lint((
+            "fix.bounds",
+            """\
+            def root(cfg):
+                best = 0
+
+                def consider(x):
+                    nonlocal best
+                    best = max(best, x)
+
+                for x in cfg.sizes:
+                    consider(x)
+                return best
+            """,
+        ))
+        assert result.findings == []
+
+    def test_unlinted_repro_callee_degrades_silently(self):
+        # The callee resolves into repro.* but that module is not part
+        # of this run (single-file lint): no finding, the closure walk
+        # just stops at the boundary instead of guessing.
+        result = run_lint((
+            "fix.bounds",
+            """\
+            from repro.elsewhere import helper
+
+            def root(cfg):
+                return helper(cfg)
+            """,
+        ))
+        assert result.findings == []
+
+
+class TestSuppressionReasons:
+    SRC = """\
+        import time
+
+        def root(cfg):
+            return time.time()  {marker}
+    """
+
+    def test_reasonless_ignore_does_not_suppress_r7(self):
+        result = run_lint((
+            "fix.bounds",
+            self.SRC.format(marker="# repro-lint: ignore[R7]"),
+        ))
+        assert not result.ok
+
+    def test_reasoned_ignore_suppresses_r7(self):
+        result = run_lint((
+            "fix.bounds",
+            self.SRC.format(
+                marker="# repro-lint: ignore[R7] -- fixture clock"
+            ),
+        ))
+        assert result.ok and len(result.suppressed) == 1
+
+
+class TestNoFalsePositivesOnRealTree:
+    def test_real_bound_closure_is_pure(self):
+        paths = sorted(SRC_REPRO.rglob("*.py"))
+        units = [ModuleUnit.from_path(p) for p in paths]
+        contracts = Contracts.discover(SRC_REPRO.parent)
+        engine = LintEngine(contracts, rules=[BoundPurityRule()])
+        result = engine.lint_units(units)
+        assert result.unsuppressed == [], [
+            f.render() for f in result.unsuppressed
+        ]

@@ -1,0 +1,242 @@
+"""Fixture suite for R5 (unit consistency).
+
+Each positive fixture asserts the exact rule id *and* line; the
+no-false-positive half lints the real modules the rule guards
+(``arch/fabric.py`` and friends) with the discovered contracts.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import Contracts, LintEngine, ModuleUnit, lint
+from repro.lint.rules_flow import UnitConsistencyRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+# A fixture module opted into unit checking; every other contract
+# table keeps its shipped default (suffixes, mul/div conversions).
+CONTRACTS = Contracts(unit_modules=frozenset({"fix.units"}))
+
+
+def run_lint(source, module="fix.units", contracts=CONTRACTS):
+    unit = ModuleUnit.from_source(module, textwrap.dedent(source))
+    engine = LintEngine(contracts, rules=[UnitConsistencyRule()])
+    return engine.lint_units([unit])
+
+
+def only_finding(result):
+    assert len(result.findings) == 1, [
+        f.render() for f in result.findings
+    ]
+    return result.findings[0]
+
+
+class TestPositive:
+    def test_add_seconds_to_cycles_flags(self):
+        result = run_lint(
+            """\
+            def total(time_s, lat_cycles):
+                return time_s + lat_cycles
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 2
+
+    def test_compare_bytes_to_seconds_flags(self):
+        result = run_lint(
+            """\
+            def worse(payload_bytes, deadline_s):
+                if payload_bytes > deadline_s:
+                    return True
+                return False
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 2
+        assert "bytes" in finding.message and "'s'" in finding.message
+
+    def test_return_against_function_suffix_flags(self):
+        result = run_lint(
+            """\
+            def span_s(n_cycles):
+                return n_cycles
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 2
+        assert "returns 'cycles'" in finding.message
+
+    def test_suffixed_assignment_target_flags(self):
+        result = run_lint(
+            """\
+            def convert(time_s):
+                t = time_s
+                n_cycles = t
+                return n_cycles
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 3
+
+    def test_min_unification_flags(self):
+        result = run_lint(
+            """\
+            def floor(time_s, cap_bytes):
+                return min(time_s, cap_bytes)
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 2
+
+    def test_augassign_mix_flags(self):
+        result = run_lint(
+            """\
+            def accumulate(total_cycles, extra_s):
+                total_cycles += extra_s
+                return total_cycles
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 2
+
+    def test_units_flow_through_nested_closures(self):
+        result = run_lint(
+            """\
+            def outer(time_s):
+                base = time_s
+
+                def inner(n_cycles):
+                    return base + n_cycles
+
+                return inner
+            """
+        )
+        finding = only_finding(result)
+        assert finding.rule == "R5" and finding.line == 5
+
+
+class TestConversions:
+    def test_seconds_times_hz_is_cycles(self):
+        result = run_lint(
+            """\
+            def span_cycles(time_s, freq_hz):
+                return time_s * freq_hz
+            """
+        )
+        assert result.findings == []
+
+    def test_bytes_over_bandwidth_is_seconds(self):
+        result = run_lint(
+            """\
+            def xfer_s(payload_bytes, link_bytes_per_sec):
+                return payload_bytes / link_bytes_per_sec
+            """
+        )
+        assert result.findings == []
+
+    def test_product_without_table_entry_degrades_to_unknown(self):
+        # s * s has no conversion entry: the result is unknown, and
+        # unknown never flags (one-sided analysis by design).
+        result = run_lint(
+            """\
+            def span_cycles(time_s, other_s):
+                return time_s * other_s
+            """
+        )
+        assert result.findings == []
+
+    def test_elements_times_bytes_per_element_is_bytes(self):
+        result = run_lint(
+            """\
+            def payload_bytes(n_elements, width_bytes_per_element):
+                return n_elements * width_bytes_per_element
+            """
+        )
+        assert result.findings == []
+
+
+class TestNeverFlagsUnknown:
+    def test_unknown_plus_known_is_silent(self):
+        result = run_lint(
+            """\
+            def f(a, b_s):
+                return a + b_s
+            """
+        )
+        assert result.findings == []
+
+    def test_module_not_in_contract_is_silent(self):
+        result = run_lint(
+            """\
+            def total(time_s, lat_cycles):
+                return time_s + lat_cycles
+            """,
+            module="fix.unchecked",
+        )
+        assert result.findings == []
+
+    def test_same_unit_ratio_is_dimensionless(self):
+        result = run_lint(
+            """\
+            def utilization(busy_cycles, total_cycles):
+                frac = busy_cycles / total_cycles
+                return frac + 1.0
+            """
+        )
+        assert result.findings == []
+
+
+class TestSuppressionReasons:
+    SRC = """\
+        def total(time_s, lat_cycles):
+            return time_s + lat_cycles  {marker}
+    """
+
+    def test_reasonless_ignore_does_not_suppress_r5(self):
+        result = run_lint(
+            self.SRC.format(marker="# repro-lint: ignore[R5]")
+        )
+        assert not result.ok
+        assert result.unsuppressed[0].rule == "R5"
+
+    def test_reasoned_ignore_suppresses_r5(self):
+        result = run_lint(
+            self.SRC.format(
+                marker="# repro-lint: ignore[R5] -- fixture cast"
+            )
+        )
+        assert result.ok and len(result.suppressed) == 1
+
+    def test_bare_ignore_without_reason_does_not_cover_r5(self):
+        result = run_lint(
+            self.SRC.format(marker="# repro-lint: ignore")
+        )
+        assert not result.ok
+
+
+class TestNoFalsePositivesOnRealModules:
+    def check_clean(self, relpath):
+        result = lint(
+            [SRC_REPRO / relpath],
+            contracts=Contracts.discover(SRC_REPRO.parent),
+            rules=[UnitConsistencyRule()],
+        )
+        assert result.unsuppressed == [], [
+            f.render() for f in result.unsuppressed
+        ]
+
+    def test_arch_fabric_is_clean(self):
+        self.check_clean("arch/fabric.py")
+
+    def test_arch_noc_is_clean(self):
+        self.check_clean("arch/noc.py")
+
+    def test_core_scaleout_is_clean(self):
+        self.check_clean("core/scaleout.py")
+
+    def test_sim_engine_is_clean(self):
+        self.check_clean("sim/engine.py")
+
+    def test_energy_model_is_clean(self):
+        self.check_clean("energy/model.py")

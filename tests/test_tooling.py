@@ -179,6 +179,11 @@ class TestLintSelfCheck:
         assert result.unsuppressed == [], "\n".join(
             f.render() for f in result.unsuppressed
         )
+        # The dataflow rules (R5-R7) must actually have run, not just
+        # the original pattern rules.
+        assert set(result.timings) == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+        }
 
     def test_lint_verb_on_cli(self, capsys):
         assert main(["lint", str(self.SRC_REPRO)]) == 0
