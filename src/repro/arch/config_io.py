@@ -149,7 +149,9 @@ def dataflow_to_dict(dataflow) -> Dict[str, Any]:
     The inverse of :func:`dataflow_from_dict`; lets a search result be
     saved next to the workload/accelerator specs and replayed later.
     """
-    return {
+    from repro.core.dataflow import AttentionVariant
+
+    out = {
         "name": dataflow.name,
         "fused": dataflow.fused,
         "granularity": (
@@ -168,11 +170,17 @@ def dataflow_to_dict(dataflow) -> Dict[str, Any]:
         },
         "stationarity": dataflow.stationarity.value,
     }
+    # Emitted only for non-default variants, keeping every pre-variant
+    # serialized payload byte-identical.
+    if dataflow.variant is not AttentionVariant.SOFTMAX:
+        out["variant"] = dataflow.variant.value
+    return out
 
 
 def dataflow_from_dict(data: Dict[str, Any]):
     """Rebuild a dataflow configuration from its serialized form."""
     from repro.core.dataflow import (
+        AttentionVariant,
         Dataflow,
         Granularity,
         StagingPolicy,
@@ -199,6 +207,9 @@ def dataflow_from_dict(data: Dict[str, Any]):
             StagingPolicy.all_disabled(),
             stationarity=Stationarity(
                 data.get("stationarity", "output")
+            ),
+            variant=AttentionVariant(
+                data.get("variant", AttentionVariant.SOFTMAX.value)
             ),
         )
     except (KeyError, TypeError) as exc:

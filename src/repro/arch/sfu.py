@@ -51,3 +51,22 @@ class SFUSpec:
         if num_elements < 0:
             raise ValueError("num_elements must be non-negative")
         return self.softmax_passes * num_elements
+
+    def flashd_cycles(self, num_elements: int, out_elements: int) -> float:
+        """Cycles of a FLASH-D style hidden-division softmax.
+
+        FLASH-D folds the divide pass into the output rescale: the
+        intermediate logits see one pass *fewer* than the classic
+        formulation, and the (much smaller) output tile pays a single
+        rescale pass instead.
+        """
+        if num_elements < 0 or out_elements < 0:
+            raise ValueError("element counts must be non-negative")
+        passes = (self.softmax_passes - 1) * num_elements + out_elements
+        return passes / self.elements_per_cycle
+
+    def flashd_flops(self, num_elements: int, out_elements: int) -> int:
+        """Arithmetic work of the hidden-division softmax."""
+        if num_elements < 0 or out_elements < 0:
+            raise ValueError("element counts must be non-negative")
+        return (self.softmax_passes - 1) * num_elements + out_elements

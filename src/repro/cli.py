@@ -498,6 +498,13 @@ def _build_query_requests(args) -> List[dict]:
                     dict(base, op="cost", dataflow=d) for d in dataflows
                 ],
             }
+        elif args.op == "decode":
+            if args.kv_len is None:
+                raise ValueError("decode query needs --kv-len")
+            base["kv_len"] = args.kv_len
+            base["objective"] = args.objective
+            if args.no_variants:
+                base["variants"] = False
         elif args.op == "scaleout":
             try:
                 chip_counts = [
@@ -566,7 +573,7 @@ def _run_query(argv: List[str]) -> int:
                         help="socket timeout in seconds (default: 300)")
     parser.add_argument("--op", default="cost",
                         choices=["ping", "stats", "cost", "search", "sweep",
-                                 "scaleout"],
+                                 "scaleout", "decode"],
                         help="single-query operation (default: cost)")
     parser.add_argument("--model", default="bert",
                         help="zoo model name (default: bert)")
@@ -592,6 +599,11 @@ def _run_query(argv: List[str]) -> int:
     parser.add_argument("--contention", type=float, default=1.0,
                         help="shared-channel arbitration derate "
                              "(scaleout, default: 1.0)")
+    parser.add_argument("--kv-len", type=int, default=None,
+                        help="decode-step KV cache length (decode op)")
+    parser.add_argument("--no-variants", action="store_true",
+                        help="restrict decode searches to the reference "
+                             "softmax dataflows (no attention-variant zoo)")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request deadline in milliseconds")
     args = parser.parse_args(argv)

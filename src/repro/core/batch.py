@@ -46,7 +46,7 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
     np = None
 
 from repro.arch.accelerator import Accelerator
-from repro.core.dataflow import Dataflow, Stationarity
+from repro.core.dataflow import AttentionVariant, Dataflow, Stationarity
 from repro.core.dataflow import base as base_dataflow
 from repro.core.footprint import fused_la_elements, operator_l3_elements
 from repro.core.perf import (
@@ -195,6 +195,8 @@ class _GridFeatures:
         self.s_out = np.empty(n, dtype=bool)
         self.s_int = np.empty(n, dtype=bool)
         self.s_any = np.empty(n, dtype=bool)
+        self.v_flash = np.empty(n, dtype=bool)
+        self.v_pipe = np.empty(n, dtype=bool)
         self.stat_idx = np.empty(n, dtype=np.int64)
         self.o_b_t = np.empty(n, dtype=np.int64)
         self.o_gran = np.empty(n, dtype=bool)
@@ -216,6 +218,8 @@ class _GridFeatures:
             self.s_out[i] = s.out
             self.s_int[i] = s.intermediate
             self.s_any[i] = s.any_enabled
+            self.v_flash[i] = df.variant is AttentionVariant.FLASH_D
+            self.v_pipe[i] = df.variant is AttentionVariant.FUSEMAX
             self.stat_idx[i] = _STAT_INDEX[df.stationarity]
             if df.fused or df.granularity is None:
                 other = base_dataflow(df.stationarity)
@@ -246,7 +250,7 @@ class _OpArrays:
     footprint_bytes: "np.ndarray"
     macs: float
     sl_words: float
-    sfu_ops: float
+    sfu_ops: object  # ndarray (variant-dependent), or a float constant
 
 
 def _check_footprint(fp_bytes: "np.ndarray") -> None:
@@ -418,12 +422,22 @@ def _evaluate_la_pair(
     # Fused: one interleaved phase plus the softmax spill phase.  The
     # spill phase contributes exactly zero time/traffic when nothing
     # spills (``x + 0.0 == x``), so it can be added unconditionally.
+    # Attention variants restructure only the fused softmax term, with
+    # each np.where branch computed by the exact scalar-path operations
+    # (FLASH-D swaps in flashd_cycles; FuseMax takes max instead of
+    # sum), so bit-equality with cost_la_pair is preserved per lane.
+    flashd = accel.sfu.flashd_cycles(int_cold, out_cold)
+    sm_fused = np.where(f.v_flash, flashd, softmax_cycles)
     int_spill = int_cold * int_offchip
     fused_dram_main = dram_l_inputs + dram_a_inputs + 2.0 * int_spill
     fused_sg = sg_base_l + sg_base_a
+    fused_busy = np.where(
+        f.v_pipe,
+        np.maximum(compute_l + compute_a, sm_fused),
+        (compute_l + compute_a) + sm_fused,
+    )
     fused_steady = _phase_time(
-        (compute_l + compute_a) + softmax_cycles,
-        fused_dram_main, fused_sg, accel,
+        fused_busy, fused_dram_main, fused_sg, accel,
     ) + _phase_time(0.0, 2.0 * int_spill, 0.0, accel)
     fused_dram = fused_dram_main + 2.0 * int_spill
 
@@ -445,6 +459,13 @@ def _evaluate_la_pair(
     warmup = _warmup_cycles(dram_bytes, n_pass_f, warmup_cap, f.fused,
                             accel, options)
     macs = macs_l + macs_a
+    # FLASH-D does less SFU arithmetic; the energy accounting mirrors
+    # the scalar path's per-variant flop count (floats either way).
+    sfu_ops = np.where(
+        f.v_flash,
+        float(accel.sfu.flashd_flops(int_cold, out_cold)),
+        float(accel.sfu.softmax_flops(int_cold)),
+    )
     return _OpArrays(
         total_cycles=steady + warmup,
         dram_bytes=dram_bytes,
@@ -453,7 +474,7 @@ def _evaluate_la_pair(
         footprint_bytes=fp_bytes,
         macs=float(macs),
         sl_words=2.0 * macs + out_cold,
-        sfu_ops=float(accel.sfu.softmax_flops(int_cold)),
+        sfu_ops=sfu_ops,
     )
 
 
@@ -647,6 +668,10 @@ def evaluate_grid(
         )
 
     replication = cfg.num_blocks if scope is Scope.MODEL else 1
+    if isinstance(sfu_ops, np.ndarray):
+        sfu_col = sfu_ops * replication
+    else:
+        sfu_col = np.full(n, sfu_ops * replication)
     return GridEvaluation(
         total_cycles=replication * total_cycles,
         dram_bytes=replication * dram_bytes,
@@ -655,5 +680,5 @@ def evaluate_grid(
         sl_words=np.full(n, sl_words * replication),
         sg_words=sg_words * replication,
         dram_words=dram_words * replication,
-        sfu_ops=np.full(n, sfu_ops * replication),
+        sfu_ops=sfu_col,
     )

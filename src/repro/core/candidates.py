@@ -47,6 +47,7 @@ from typing import List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
 from repro.core.dataflow import (
+    AttentionVariant,
     Dataflow,
     Granularity,
     StagingPolicy,
@@ -142,13 +143,23 @@ def family_representative(
     family — it depends only on stationarity, granularity and row
     count, which the family fixes.  Hence ``bound(representative) <=
     bound(member) <= cost(member)`` for every member.
+
+    A family carrying a non-default attention variant contains only
+    fused members that all share the variant's (weakly smaller) serial
+    softmax term, so its representative is the fused all-staged member
+    with that variant — which is also member 0 of its expansion, the
+    invariant the engine's representative round depends on.
     """
     stat = family.stationarity
     if family.granularity is None:
         return base(stationarity=stat)
     staging = StagingPolicy.all_enabled()
     if family.granularity is Granularity.R:
-        return flat_r(family.rows, staging=staging, stationarity=stat)
+        return flat_r(family.rows, staging=staging, stationarity=stat,
+                      variant=family.variant)
+    if family.variant is not AttentionVariant.SOFTMAX:
+        return flat_x(family.granularity, staging=staging,
+                      stationarity=stat, variant=family.variant)
     if space.allow_unfused:
         return base_x(family.granularity, staging=staging,
                       stationarity=stat)
@@ -297,7 +308,7 @@ def locate_candidate(
         dataflow.rows if dataflow.granularity is Granularity.R else None
     )
     target = DataflowFamily(dataflow.stationarity, dataflow.granularity,
-                            rows)
+                            rows, dataflow.variant)
     offset = 0
     for family in enumerate_families(cfg, space):
         size = family_size(family, space)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 __all__ = [
+    "AttentionVariant",
     "Granularity",
     "Stationarity",
     "StagingPolicy",
@@ -33,6 +34,30 @@ __all__ = [
     "flat_r",
     "parse_dataflow",
 ]
+
+
+class AttentionVariant(enum.Enum):
+    """Softmax formulation of the fused L-A pair (the variant zoo).
+
+    ``SOFTMAX`` is the classic four-pass numerically stable softmax the
+    paper charges serially between L and A.  ``FLASH_D`` hides the
+    division pass inside the output rescale (FLASH-D), shrinking the
+    serial softmax term.  ``FUSEMAX`` pipelines the softmax passes with
+    the PE array's compute (FuseMax-style extended einsum), so the
+    fused pass pays ``max(compute, softmax)`` instead of their sum.
+    Non-default variants only exist fused: an unfused schedule has no
+    L-A interleave for the variant to restructure.
+    """
+
+    SOFTMAX = "softmax"
+    FLASH_D = "flash-d"
+    FUSEMAX = "fusemax"
+
+
+_VARIANT_SUFFIX = {
+    AttentionVariant.FLASH_D: "+flashd",
+    AttentionVariant.FUSEMAX: "+fusemax",
+}
 
 
 class Granularity(enum.Enum):
@@ -126,6 +151,9 @@ class Dataflow:
         Per-tensor FLAT-/L3-tile enables.
     stationarity:
         Intra-operator dataflow of the PE array.
+    variant:
+        Softmax formulation of the fused pair (:class:`AttentionVariant`).
+        Non-default variants require ``fused=True``.
     """
 
     name: str
@@ -136,8 +164,15 @@ class Dataflow:
     head_tile: int = 1
     staging: StagingPolicy = field(default_factory=StagingPolicy.all_enabled)
     stationarity: Stationarity = Stationarity.OUTPUT
+    variant: AttentionVariant = AttentionVariant.SOFTMAX
 
     def __post_init__(self) -> None:
+        if self.variant is not AttentionVariant.SOFTMAX and not self.fused:
+            raise ValueError(
+                f"{self.name}: attention variant {self.variant.value!r} "
+                "restructures the fused L-A softmax; unfused execution "
+                "has no interleave to restructure"
+            )
         if self.granularity is None:
             if self.fused:
                 raise ValueError(
@@ -228,18 +263,20 @@ def flat_x(
     head_tile: int = 1,
     staging: Optional[StagingPolicy] = None,
     stationarity: Stationarity = Stationarity.OUTPUT,
+    variant: AttentionVariant = AttentionVariant.SOFTMAX,
 ) -> Dataflow:
     """``FLAT-X``: fused L-A with a FLAT-tile at granularity M/B/H."""
     if granularity is Granularity.R:
         raise ValueError("use flat_r(rows) for row granularity")
     return Dataflow(
-        name=f"FLAT-{granularity.value}",
+        name=f"FLAT-{granularity.value}{_VARIANT_SUFFIX.get(variant, '')}",
         fused=True,
         granularity=granularity,
         batch_tile=batch_tile,
         head_tile=head_tile,
         staging=staging if staging is not None else StagingPolicy.all_enabled(),
         stationarity=stationarity,
+        variant=variant,
     )
 
 
@@ -247,15 +284,17 @@ def flat_r(
     rows: int,
     staging: Optional[StagingPolicy] = None,
     stationarity: Stationarity = Stationarity.OUTPUT,
+    variant: AttentionVariant = AttentionVariant.SOFTMAX,
 ) -> Dataflow:
     """``FLAT-Rx``: fused L-A at row granularity with ``rows`` rows."""
     return Dataflow(
-        name=f"FLAT-R{rows}",
+        name=f"FLAT-R{rows}{_VARIANT_SUFFIX.get(variant, '')}",
         fused=True,
         granularity=Granularity.R,
         rows=rows,
         staging=staging if staging is not None else StagingPolicy.all_enabled(),
         stationarity=stationarity,
+        variant=variant,
     )
 
 
@@ -264,13 +303,29 @@ def parse_dataflow(spec: str) -> Dataflow:
 
     Accepted forms (case-insensitive): ``base``, ``base-m``/``base-b``/
     ``base-h``, ``flat-m``/``flat-b``/``flat-h``, and ``flat-r<rows>``
-    (e.g. ``flat-r64``).  This is the CLI's and config files' spelling
-    of Figure 7(b)'s dataflow names.
+    (e.g. ``flat-r64``).  FLAT spellings additionally accept an
+    attention-variant suffix ``+flashd`` or ``+fusemax`` (e.g.
+    ``flat-r64+fusemax``).  This is the CLI's and config files'
+    spelling of Figure 7(b)'s dataflow names.
     """
     token = spec.strip().lower()
+    variant = AttentionVariant.SOFTMAX
+    for var, suffix in _VARIANT_SUFFIX.items():
+        if token.endswith(suffix):
+            token = token[: -len(suffix)]
+            variant = var
+            break
     if token == "base":
+        if variant is not AttentionVariant.SOFTMAX:
+            raise ValueError(
+                f"{spec!r}: attention variants require a fused FLAT dataflow"
+            )
         return base()
     if token.startswith("base-"):
+        if variant is not AttentionVariant.SOFTMAX:
+            raise ValueError(
+                f"{spec!r}: attention variants require a fused FLAT dataflow"
+            )
         suffix = token[len("base-"):].upper()
         try:
             return base_x(Granularity(suffix))
@@ -282,16 +337,16 @@ def parse_dataflow(spec: str) -> Dataflow:
         digits = token[len("flat-r"):]
         if not digits.isdigit() or int(digits) < 1:
             raise ValueError(f"bad row count in {spec!r}")
-        return flat_r(int(digits))
+        return flat_r(int(digits), variant=variant)
     if token.startswith("flat-"):
         suffix = token[len("flat-"):].upper()
         try:
-            return flat_x(Granularity(suffix))
+            return flat_x(Granularity(suffix), variant=variant)
         except ValueError:
             raise ValueError(
                 f"unknown FLAT granularity {suffix!r} in {spec!r}"
             ) from None
     raise ValueError(
         f"cannot parse dataflow {spec!r}; expected base, base-m/b/h, "
-        "flat-m/b/h or flat-r<rows>"
+        "flat-m/b/h or flat-r<rows>, optionally with +flashd/+fusemax"
     )

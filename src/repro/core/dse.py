@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.arch.accelerator import Accelerator
 from repro.core.dataflow import (
+    AttentionVariant,
     Dataflow,
     Granularity,
     StagingPolicy,
@@ -213,12 +214,17 @@ class SearchSpace:
     stationarities: Tuple[Stationarity, ...] = (Stationarity.OUTPUT,)
     exhaustive_staging: bool = False
     include_plain_base: bool = True
+    variants: Tuple[AttentionVariant, ...] = (AttentionVariant.SOFTMAX,)
 
     def __post_init__(self) -> None:
         if not (self.allow_fused or self.allow_unfused):
             raise ValueError("search space admits neither fused nor unfused")
         if not self.granularities and self.include_plain_base is False:
             raise ValueError("empty granularity set with no plain base")
+        if not self.variants:
+            raise ValueError("search space needs at least one variant")
+        if len(set(self.variants)) != len(self.variants):
+            raise ValueError("duplicate attention variants in search space")
 
 
 @dataclass(frozen=True)
@@ -238,18 +244,29 @@ class DataflowFamily:
 
     ``granularity=None`` is the plain (no L3 tile) baseline family,
     whose single member is :func:`repro.core.dataflow.base`.  ``rows``
-    is set iff the granularity is R.
+    is set iff the granularity is R.  ``variant`` is the softmax
+    formulation all members share; a non-default variant family
+    contains only fused members (variants are fused-only).
     """
 
     stationarity: Stationarity
     granularity: Optional[Granularity]
     rows: Optional[int] = None
+    variant: AttentionVariant = AttentionVariant.SOFTMAX
 
     def __post_init__(self) -> None:
         if (self.rows is not None) != (self.granularity is Granularity.R):
             raise ValueError("rows must be set exactly for R granularity")
         if self.rows is not None and self.rows < 1:
             raise ValueError("rows must be >= 1")
+        if (
+            self.variant is not AttentionVariant.SOFTMAX
+            and self.granularity is None
+        ):
+            raise ValueError(
+                "the plain baseline family cannot carry an attention "
+                "variant (variants are fused-only)"
+            )
 
 
 @lru_cache(maxsize=None)
@@ -288,9 +305,18 @@ def enumerate_families(
                 if not space.allow_fused:
                     continue
                 for r in rows:
-                    yield DataflowFamily(stat, Granularity.R, r)
+                    for var in space.variants:
+                        yield DataflowFamily(stat, Granularity.R, r, var)
                 continue
-            yield DataflowFamily(stat, gran)
+            for var in space.variants:
+                if (
+                    var is not AttentionVariant.SOFTMAX
+                    and not space.allow_fused
+                ):
+                    # Variants are fused-only; an unfused-only space
+                    # has no member to put them on.
+                    continue
+                yield DataflowFamily(stat, gran, None, var)
 
 
 def expand_family(
@@ -302,6 +328,8 @@ def expand_family(
 
     Per staging corner the unfused (``Base-X``) variant precedes the
     fused (``FLAT-X``) one, mirroring :func:`enumerate_dataflows`.
+    Families carrying a non-default attention variant expand to fused
+    members only (variants are fused-only by construction).
     """
     stat = family.stationarity
     if family.granularity is None:
@@ -310,15 +338,17 @@ def expand_family(
     stagings = _enabled_stagings(space.exhaustive_staging)
     if family.granularity is Granularity.R:
         for staging in stagings:
-            yield flat_r(family.rows, staging=staging, stationarity=stat)
+            yield flat_r(family.rows, staging=staging, stationarity=stat,
+                         variant=family.variant)
         return
+    variant_only = family.variant is not AttentionVariant.SOFTMAX
     for staging in stagings:
-        if space.allow_unfused:
+        if space.allow_unfused and not variant_only:
             yield base_x(family.granularity, staging=staging,
                          stationarity=stat)
         if space.allow_fused:
             yield flat_x(family.granularity, staging=staging,
-                         stationarity=stat)
+                         stationarity=stat, variant=family.variant)
 
 
 def family_size(
@@ -330,6 +360,9 @@ def family_size(
     n_stagings = len(_enabled_stagings(space.exhaustive_staging))
     if family.granularity is Granularity.R:
         return n_stagings
+    if family.variant is not AttentionVariant.SOFTMAX:
+        # Variant families expand to fused members only.
+        return n_stagings * int(space.allow_fused)
     return n_stagings * (int(space.allow_unfused) + int(space.allow_fused))
 
 

@@ -92,7 +92,7 @@ from repro.core.candidates import (
     locate_candidate,
     plan_candidates,
 )
-from repro.core.dataflow import Dataflow, Stationarity
+from repro.core.dataflow import AttentionVariant, Dataflow, Stationarity
 from repro.core.dse import (
     DesignPoint,
     DSEResult,
@@ -836,8 +836,18 @@ def _la_pair_bound(
     if dataflow.fused:
         # Every member fuses (the representative is the weakest corner
         # in this respect): interleaved busy time plus the serialized
-        # spill round trip.
-        serial = compute_l + compute_a + softmax + spill_cycles
+        # spill round trip.  Attention variants mirror their own serial
+        # term exactly: FLASH-D's softmax has one pass fewer over the
+        # intermediate (plus the output rescale), FuseMax pipelines the
+        # softmax against the GEMM stages, so the busy floor is the max
+        # rather than the sum.
+        if dataflow.variant is AttentionVariant.FLASH_D:
+            sm_term = accel.sfu.flashd_cycles(int_cold, out_cold)
+            serial = compute_l + compute_a + sm_term + spill_cycles
+        elif dataflow.variant is AttentionVariant.FUSEMAX:
+            serial = max(compute_l + compute_a, softmax) + spill_cycles
+        else:
+            serial = compute_l + compute_a + softmax + spill_cycles
     else:
         # Mirrors the model's three-phase sum when each phase is
         # compute-/softmax-bound; weaker than (hence admissible for)
@@ -873,7 +883,11 @@ def _la_pair_bound(
         sl_words=2.0 * macs + out_cold,
         sg_words=sg_words,
         dram_words=dram_elements,
-        sfu_ops=float(accel.sfu.softmax_flops(int_cold)),
+        sfu_ops=float(
+            accel.sfu.flashd_flops(int_cold, out_cold)
+            if dataflow.variant is AttentionVariant.FLASH_D
+            else accel.sfu.softmax_flops(int_cold)
+        ),
     )
     return _BoundTerms(cycles=cycles, counts=counts)
 

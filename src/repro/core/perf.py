@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.arch.accelerator import Accelerator
-from repro.core.dataflow import Dataflow, Stationarity
+from repro.core.dataflow import AttentionVariant, Dataflow, Stationarity
 from repro.core.footprint import fused_la_footprint, operator_l3_footprint
 from repro.core.tiling import L2Tile, ceil_div, choose_l2_tile, reuse_passes
 from repro.energy.model import ActivityCounts
@@ -457,6 +457,10 @@ class _Phase:
     transfers between DRAM and the SG use dedicated fill ports, and the
     SFU streams softmax operands from its own SG banks (priced by
     ``softmax_cycles``), so neither is charged against this port.
+
+    ``pipelined`` marks a FuseMax-style phase whose softmax passes
+    overlap the PE array's compute: the busy term becomes
+    ``max(compute, softmax)`` instead of their sum.
     """
 
     compute_cycles: float = 0.0
@@ -464,12 +468,14 @@ class _Phase:
     softmax_elements: float = 0.0
     dram_elements: float = 0.0
     sg_words: float = 0.0
+    pipelined: bool = False
 
     def time(self, accel: Accelerator) -> float:
-        return _phase_time(
-            self.compute_cycles + self.softmax_cycles,
-            self.dram_elements, self.sg_words, accel,
-        )
+        if self.pipelined:
+            busy = max(self.compute_cycles, self.softmax_cycles)
+        else:
+            busy = self.compute_cycles + self.softmax_cycles
+        return _phase_time(busy, self.dram_elements, self.sg_words, accel)
 
 
 def _phase_time(busy_cycles, dram_elements, sg_words, accel):
@@ -522,8 +528,14 @@ def _assemble(
     warmup_cap_bytes: float,
     accel: Accelerator,
     options: PerfOptions,
+    sfu_ops: Optional[float] = None,
 ) -> OperatorCost:
-    """Combine serial phases into an OperatorCost."""
+    """Combine serial phases into an OperatorCost.
+
+    ``sfu_ops`` overrides the default four-pass softmax flop count —
+    attention variants (FLASH-D) do less arithmetic per logit element
+    and their energy accounting must reflect that.
+    """
     e = accel.bytes_per_element
     compute_cycles = sum(p.compute_cycles for p in phases)
     softmax_cycles = sum(p.softmax_cycles for p in phases)
@@ -541,7 +553,8 @@ def _assemble(
     total = steady + warmup
     ideal = macs / accel.peak_macs_per_cycle
 
-    sfu_ops = accel.sfu.softmax_flops(int(softmax_elements))
+    if sfu_ops is None:
+        sfu_ops = accel.sfu.softmax_flops(int(softmax_elements))
     counts = ActivityCounts(
         macs=float(macs),
         sl_words=2.0 * macs + out_elements,
@@ -810,6 +823,7 @@ def cost_la_pair(
     sg_base_l = _sg_stream_words(macs_l, accel)
     sg_base_a = _sg_stream_words(macs_a, accel) + out_cold
 
+    sfu_ops_override: Optional[float] = None
     if dataflow.fused:
         # The fitting fraction of the FLAT-tile executes as one
         # interleaved phase: compute, softmax and prefetch overlap.
@@ -820,14 +834,25 @@ def cost_la_pair(
         # spill phase that compute cannot hide.  This degradation is
         # why FLAT-M/B/H fall back toward Base at small buffers in
         # Figure 8 while a fitting FLAT-R does not.
+        # Attention variants restructure only this softmax term:
+        # FLASH-D hides the division pass inside the output rescale
+        # (fewer serial SFU cycles *and* fewer flops); FuseMax keeps
+        # the four passes but pipelines them with the PE compute.
+        sm_fused = softmax_cycles
+        if dataflow.variant is AttentionVariant.FLASH_D:
+            sm_fused = accel.sfu.flashd_cycles(int_cold, out_cold)
+            sfu_ops_override = float(
+                accel.sfu.flashd_flops(int_cold, out_cold)
+            )
         int_spill = int_cold * int_offchip
         phases = [
             _Phase(
                 compute_cycles=compute_l + compute_a,
-                softmax_cycles=softmax_cycles,
+                softmax_cycles=sm_fused,
                 softmax_elements=float(int_cold),
                 dram_elements=dram_l_inputs + dram_a_inputs + 2.0 * int_spill,
                 sg_words=sg_base_l + sg_base_a,
+                pipelined=dataflow.variant is AttentionVariant.FUSEMAX,
             )
         ]
         if int_spill > 0:
@@ -870,6 +895,7 @@ def cost_la_pair(
         warmup_cap_bytes=warmup_cap,
         accel=accel,
         options=options,
+        sfu_ops=sfu_ops_override,
     )
 
 

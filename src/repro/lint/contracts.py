@@ -186,6 +186,12 @@ FINGERPRINT_EXCLUDED_PREFIXES: FrozenSet[str] = frozenset({
     # serving-equivalence CI job), so a scheduler or protocol edit
     # must never invalidate the disk cache.
     "repro.serve",
+    # The sim tier (engine replay, continuous batching) consumes
+    # TilePasses derived from already-fingerprinted formulas and never
+    # contributes to a cached payload; its batching loop is also
+    # seeded-random by design (``synthetic_trace``), which the
+    # determinism rule would otherwise flag.
+    "repro.sim",
 })
 
 #: R4 — frozen dataclasses embedded in the engine's evaluation key
@@ -238,6 +244,11 @@ UNIT_MODULES: FrozenSet[str] = frozenset({
     "repro.sim.engine",
     "repro.sim.schedule",
     "repro.sim.trace",
+    # The decode tier: KV-cache traffic splits (bytes vs elements) and
+    # the serving loop's cycle accounting (TTFT/TPOT) live or die by
+    # the suffix convention.
+    "repro.ops.decode",
+    "repro.sim.batching",
 })
 
 #: Legal unit-producing multiplications (commutative; the rule checks

@@ -16,6 +16,12 @@ from repro.ops.attention import (
     build_model,
     operators_for_scope,
 )
+from repro.ops.decode import (
+    DecodeTraffic,
+    decode_config,
+    decode_step_sweep,
+    decode_traffic,
+)
 from repro.ops.graph import OperatorGraph, check_fusion_legality
 from repro.ops.intensity import (
     IntensityReport,
@@ -35,6 +41,10 @@ __all__ = [
     "build_attention_layer",
     "build_model",
     "operators_for_scope",
+    "DecodeTraffic",
+    "decode_config",
+    "decode_step_sweep",
+    "decode_traffic",
     "OperatorGraph",
     "check_fusion_legality",
     "IntensityReport",

@@ -81,8 +81,28 @@ class AttentionConfig:
         return self.seq_q == self.seq_kv
 
     def with_seq(self, seq: int) -> "AttentionConfig":
-        """Return a copy at a different (self-attention) sequence length."""
+        """Return a copy at a different (self-attention) sequence length.
+
+        Only valid on self-attention configs: silently overwriting both
+        ``seq_q`` and ``seq_kv`` on a cross-attention (or decode) config
+        would turn it into a self-attention one.  Use
+        :meth:`with_kv_len` to grow the KV side alone.
+        """
+        if not self.is_self_attention:
+            raise ValueError(
+                f"{self.name}: with_seq on a cross-attention config "
+                f"(seq_q={self.seq_q}, seq_kv={self.seq_kv}) would clobber "
+                "it into self-attention; use with_kv_len instead"
+            )
         return replace(self, seq_q=seq, seq_kv=seq)
+
+    def with_kv_len(self, kv_len: int) -> "AttentionConfig":
+        """Return a copy with a different key/value length only.
+
+        The decode sweep grows the KV cache step by step while the query
+        side stays at one token; ``seq_q`` is left untouched.
+        """
+        return replace(self, seq_kv=kv_len)
 
     def with_batch(self, batch: int) -> "AttentionConfig":
         return replace(self, batch=batch)

@@ -1,0 +1,140 @@
+"""KV-cached autoregressive decode workloads (ROADMAP item 3).
+
+Prefill evaluates the paper's encoder-style attention: ``seq_q`` query
+tokens against ``seq_kv`` keys/values.  Decode generates one token per
+step against a *growing* KV cache: the per-step attention is a
+``seq_q=1`` cross-attention whose ``seq_kv`` equals the number of
+tokens decoded (plus the prompt) so far.  This module makes that regime
+a first-class workload:
+
+* :func:`decode_config` — the per-step :class:`AttentionConfig`
+  (``seq_q=1``, ``seq_kv=kv_len``), replacing the ad-hoc
+  ``replace(prefill, seq_q=1, ...)`` spelling the boundary experiment
+  used to carry.
+* :func:`decode_step_sweep` — one config per KV length of a decode
+  trajectory, for sweeping the cost model across a generation.
+* :func:`decode_traffic` — the compulsory traffic of a decode step
+  split into **KV-cache reads**, **weight reads** and **activation**
+  traffic.  At decode the O(N) cache read dominates while weights are
+  O(D^2) per layer and activations are O(D): separating them is what
+  makes the memory-boundness of decode legible in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Tuple
+
+from repro.ops.attention import AttentionConfig, Scope, operators_for_scope
+from repro.ops.operator import OperatorKind
+
+__all__ = [
+    "DecodeTraffic",
+    "decode_config",
+    "decode_step_sweep",
+    "decode_traffic",
+]
+
+
+def decode_config(prefill: AttentionConfig, kv_len: int) -> AttentionConfig:
+    """One decode step of ``prefill``'s model at a given KV length.
+
+    The query side is a single token; ``kv_len`` counts every cached
+    key/value the step attends over (prompt plus generated tokens).
+    The model hyper-parameters (heads, widths, blocks) carry over
+    unchanged; the name gains a ``-decode`` suffix so reports can tell
+    the regimes apart.
+    """
+    if kv_len < 1:
+        raise ValueError(f"kv_len={kv_len} must be >= 1")
+    base_name = prefill.name
+    if not base_name.endswith("-decode"):
+        base_name = f"{base_name}-decode"
+    return replace(prefill, name=base_name, seq_q=1, seq_kv=kv_len)
+
+
+def decode_step_sweep(
+    prefill: AttentionConfig, kv_lens: Iterable[int]
+) -> Tuple[AttentionConfig, ...]:
+    """Per-step configs for a decode trajectory over ``kv_lens``.
+
+    The KV lengths must be strictly increasing — a decode trajectory
+    only ever grows its cache — which also keeps sweep reports and
+    cache keys deterministic.
+    """
+    configs = []
+    prev = 0
+    for kv_len in kv_lens:
+        if kv_len <= prev:
+            raise ValueError(
+                f"kv_lens must be strictly increasing; got {kv_len} after "
+                f"{prev}"
+            )
+        configs.append(decode_config(prefill, kv_len))
+        prev = kv_len
+    if not configs:
+        raise ValueError("decode_step_sweep needs at least one kv_len")
+    return tuple(configs)
+
+
+@dataclass(frozen=True)
+class DecodeTraffic:
+    """Compulsory (cold) traffic of one decode step, by provenance.
+
+    ``cache_read_bytes`` is the K/V cache streamed into the L and A
+    operators; ``weight_bytes`` the parameter reads of the projections
+    and FFNs; ``activation_bytes`` everything else (per-token
+    activations, logits, outputs).  Cold traffic only — reuse passes
+    are the dataflow's business (:mod:`repro.core.perf`); this split
+    states what the step *must* move no matter the dataflow.
+    """
+
+    kv_len: int
+    cache_read_bytes: int
+    weight_bytes: int
+    activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.cache_read_bytes + self.weight_bytes + self.activation_bytes
+
+    @property
+    def cache_fraction(self) -> float:
+        """Share of the compulsory traffic that is KV-cache reads."""
+        return self.cache_read_bytes / self.total_bytes
+
+
+def decode_traffic(
+    cfg: AttentionConfig,
+    scope: Scope = Scope.LA,
+    bytes_per_element: int = 2,
+) -> DecodeTraffic:
+    """Split a decode step's compulsory traffic by provenance.
+
+    Walks the scope's operator list: the rhs of Logit is the K cache,
+    the rhs of Attend the V cache, weight-role rhs tensors are
+    parameters, and every remaining tensor is activation traffic.
+    ``Scope.MODEL`` multiplies one block by ``cfg.num_blocks``, exactly
+    like the cost model's replication.
+    """
+    cache_elems = 0
+    weight_elems = 0
+    act_elems = 0
+    for op in operators_for_scope(cfg, scope):
+        if op.kind in (OperatorKind.LOGIT, OperatorKind.ATTEND):
+            cache_elems += op.rhs.num_elements
+            act_elems += op.lhs.num_elements + op.out.num_elements
+            continue
+        if op.rhs.role.is_weight:
+            weight_elems += op.rhs.num_elements
+        else:
+            act_elems += op.rhs.num_elements
+        act_elems += op.lhs.num_elements + op.out.num_elements
+    replication = cfg.num_blocks if scope is Scope.MODEL else 1
+    e = bytes_per_element
+    return DecodeTraffic(
+        kv_len=cfg.seq_kv,
+        cache_read_bytes=replication * cache_elems * e,
+        weight_bytes=replication * weight_elems * e,
+        activation_bytes=replication * act_elems * e,
+    )

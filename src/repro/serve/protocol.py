@@ -72,6 +72,7 @@ __all__ = [
     "grid_payloads",
     "search_payload",
     "scaleout_payload",
+    "decode_payload",
 ]
 
 #: Bump when the request or response layout changes.
@@ -115,12 +116,15 @@ class Query:
     """One resolved, hashable unit of schedulable work.
 
     ``kind`` is ``"cost"`` (needs ``dataflow``), ``"search"`` (needs
-    ``objective``) or ``"scaleout"`` (needs ``chips`` + ``system``;
-    ``accel`` is the per-chip die).  Hashability is what the
-    scheduler's deduplication and memoization key on; the accelerator
-    participates through its cost-observable fingerprint so two
-    accelerators differing only in name coalesce (their costs — and
-    therefore payloads — are identical by construction).
+    ``objective``), ``"scaleout"`` (needs ``chips`` + ``system``;
+    ``accel`` is the per-chip die) or ``"decode"`` (a KV-cached decode
+    step search: ``cfg`` is already the ``seq_q=1`` step config and
+    ``variants`` says whether the attention-variant zoo competes).
+    Hashability is what the scheduler's deduplication and memoization
+    key on; the accelerator participates through its cost-observable
+    fingerprint so two accelerators differing only in name coalesce
+    (their costs — and therefore payloads — are identical by
+    construction).
     """
 
     kind: str
@@ -131,6 +135,7 @@ class Query:
     objective: Optional[Objective] = None
     chips: Optional[int] = None
     system: Optional[ScaleoutSystem] = None
+    variants: Optional[bool] = None
 
     def group_key(self) -> Tuple:
         """Coalescing group: queries sharing it can share one grid call."""
@@ -151,6 +156,7 @@ class Query:
             self.objective,
             self.chips,
             self.system.fingerprint() if self.system is not None else None,
+            self.variants,
         )
 
 
@@ -279,13 +285,41 @@ def resolve_query(req: Dict[str, Any]) -> Query:
     it ever reaches the scheduler.
     """
     op = req.get("op")
-    if op not in ("cost", "search", "scaleout"):
+    if op not in ("cost", "search", "scaleout", "decode"):
         raise ProtocolError(
-            f"op {op!r} is not a query (cost/search/scaleout)"
+            f"op {op!r} is not a query (cost/search/scaleout/decode)"
         )
     cfg = _resolve_workload(req)
     accel = _resolve_accelerator(req)
     scope = _resolve_scope(req.get("scope", "L-A"))
+    if op == "decode":
+        from repro.ops.decode import decode_config
+
+        raw = req.get("kv_len")
+        if raw is None:
+            raise ProtocolError("decode query needs 'kv_len'")
+        try:
+            kv_len = int(raw)
+        except (TypeError, ValueError):
+            raise ProtocolError("'kv_len' must be an integer") from None
+        try:
+            objective = Objective(str(req.get("objective", "runtime")))
+        except ValueError:
+            raise ProtocolError(
+                f"unknown objective {req.get('objective')!r}; choose from "
+                f"{[o.value for o in Objective]}"
+            ) from None
+        variants = req.get("variants", True)
+        if not isinstance(variants, bool):
+            raise ProtocolError("'variants' must be a boolean")
+        try:
+            step = decode_config(cfg, kv_len)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+        return Query(
+            kind="decode", cfg=step, accel=accel, scope=scope,
+            objective=objective, variants=variants,
+        )
     if op == "cost":
         spec = req.get("dataflow")
         if spec is None:
@@ -421,6 +455,36 @@ def search_payload(result: DSEResult) -> Dict[str, Any]:
         "dataflow": dataflow_to_dict(best.dataflow),
         "cost": cost_payload(best.cost),
     }
+
+
+def decode_payload(
+    result: DSEResult, cfg: AttentionConfig, accel: Accelerator,
+    scope: Scope,
+) -> Dict[str, Any]:
+    """The served fields of one decode-step search.
+
+    The winner is reported like :func:`search_payload` (objective,
+    dataflow, cost), extended with the step's identity (``kv_len``) and
+    its compulsory-traffic split (:func:`repro.ops.decode.decode_traffic`
+    — cache reads vs weights vs activations), which is what makes the
+    memory-boundness of the step legible to clients.  All fields are
+    deterministic: traffic is closed-form in the config, and the search
+    result is byte-stable by the engine's equivalence contracts.
+    """
+    from repro.ops.decode import decode_traffic
+
+    traffic = decode_traffic(
+        cfg, scope=scope, bytes_per_element=accel.bytes_per_element
+    )
+    payload = search_payload(result)
+    payload["kv_len"] = int(traffic.kv_len)
+    payload["traffic"] = {
+        "cache_read_bytes": int(traffic.cache_read_bytes),
+        "weight_bytes": int(traffic.weight_bytes),
+        "activation_bytes": int(traffic.activation_bytes),
+        "cache_fraction": float(traffic.cache_fraction),
+    }
+    return payload
 
 
 def scaleout_payload(result: ScaleoutResult) -> Dict[str, Any]:

@@ -11,11 +11,14 @@ Operations:
 
 ``ping`` / ``stats``
     liveness and the scheduler/engine-cache counters.
-``cost`` / ``search`` / ``scaleout``
+``cost`` / ``search`` / ``scaleout`` / ``decode``
     resolved into a :class:`~repro.serve.protocol.Query` and submitted
     to the scheduler (coalescing, memo, admission control, deadlines).
     A ``scaleout`` query runs the two-level multi-chip search
-    (:func:`~repro.core.scaleout.search_scaleout`) for one chip count.
+    (:func:`~repro.core.scaleout.search_scaleout`) for one chip count;
+    a ``decode`` query searches one KV-cached decode step, optionally
+    with the attention-variant zoo competing (``"variants": false``
+    restricts the space to the reference softmax dataflows).
 ``sweep``
     decomposed into ``sweep_chunk``-sized slices submitted chunk by
     chunk: the sub-queries of a chunk land in one micro-batch (dense
@@ -245,7 +248,7 @@ class DSEServer:
         if op == "shutdown":
             asyncio.get_running_loop().create_task(self.shutdown())
             return {"draining": True}
-        if op in ("cost", "search", "scaleout"):
+        if op in ("cost", "search", "scaleout", "decode"):
             query = resolve_query(req)
             deadline_s = resolve_deadline_s(req)
             return await self.scheduler.submit(query, deadline_s)

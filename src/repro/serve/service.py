@@ -38,6 +38,7 @@ from repro.serve.protocol import (
     ProtocolError,
     Query,
     cost_payload,
+    decode_payload,
     grid_payloads,
     resolve_query,
     scaleout_payload,
@@ -70,6 +71,22 @@ def execute_query(query: Query) -> Dict[str, Any]:
             scope=query.scope, options=_OPTIONS,
         )
         return scaleout_payload(result)
+    if query.kind == "decode":
+        from repro.core.dataflow import AttentionVariant
+        from repro.core.dse import SearchSpace
+
+        space = SearchSpace(
+            variants=(
+                tuple(AttentionVariant) if query.variants
+                else (AttentionVariant.SOFTMAX,)
+            ),
+        )
+        result = search(
+            query.cfg, query.accel, scope=query.scope,
+            objective=query.objective, space=space, options=_OPTIONS,
+            engine=_ENGINE, retain_points=False,
+        )
+        return decode_payload(result, query.cfg, query.accel, query.scope)
     result = search(
         query.cfg, query.accel, scope=query.scope,
         objective=query.objective, options=_OPTIONS, engine=_ENGINE,
@@ -121,7 +138,8 @@ def answer_direct(req: Dict[str, Any]) -> Dict[str, Any]:
     """One full response envelope, computed in-process.
 
     Mirrors the server's handling of the deterministic operations
-    (``ping``, ``cost``, ``search``, ``scaleout``, ``sweep``)
+    (``ping``, ``cost``, ``search``, ``scaleout``, ``decode``,
+    ``sweep``)
     byte-for-byte; the stateful operations (``stats``, ``experiment``,
     ``shutdown``) only make sense against a live daemon and are
     rejected.  Errors come back as error envelopes, exactly like the
@@ -136,7 +154,7 @@ def answer_direct(req: Dict[str, Any]) -> Dict[str, Any]:
         op = req.get("op")
         if op == "ping":
             result: Dict[str, Any] = {"protocol": PROTOCOL}
-        elif op in ("cost", "search", "scaleout"):
+        elif op in ("cost", "search", "scaleout", "decode"):
             result = execute_query(resolve_query(req))
         elif op == "sweep":
             result = _direct_sweep(req)

@@ -40,9 +40,13 @@ class PassTimeline:
     exec_end: float
 
     def __post_init__(self) -> None:
+        # The double-buffer recurrence guarantees compute never starts
+        # before its data has landed (exec_start >= fetch_end); a
+        # timeline violating that would mean a pass computed on data
+        # still in flight.
         if not (
-            self.fetch_start <= self.fetch_end <= self.exec_end
-            and self.exec_start <= self.exec_end
+            self.fetch_start <= self.fetch_end <= self.exec_start
+            <= self.exec_end
         ):
             raise ValueError(f"pass {self.index}: inconsistent timeline")
 

@@ -122,3 +122,16 @@ class TestExtDecode:
 
     def test_report_renders(self, rows):
         assert "decode" in ext_decode.format_report(rows)
+
+    def test_variant_table_appends_only(self, rows):
+        """The baseline report bytes are identical with and without the
+        variant table — the decode-equivalence CI property."""
+        variant_rows = ext_decode.run_variants(kv_lens=(2048,))
+        baseline = ext_decode.format_report(rows)
+        extended = ext_decode.format_report(rows, variant_rows)
+        assert extended.startswith(baseline)
+        assert "variant" in extended[len(baseline):]
+
+    def test_variants_never_lose_on_decode(self):
+        for r in ext_decode.run_variants(kv_lens=(2048,)):
+            assert r.speedup >= 1.0 - 1e-12

@@ -1,0 +1,117 @@
+"""Tests for the KV-cached decode workload module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.configs import model_config
+from repro.ops.attention import Scope
+from repro.ops.decode import (
+    DecodeTraffic,
+    decode_config,
+    decode_step_sweep,
+    decode_traffic,
+)
+
+
+@pytest.fixture
+def prefill():
+    return model_config("bert", seq=512, batch=1)
+
+
+class TestDecodeConfig:
+    def test_single_query_row_growing_cache(self, prefill):
+        step = decode_config(prefill, 2048)
+        assert step.seq_q == 1
+        assert step.seq_kv == 2048
+        assert not step.is_self_attention
+
+    def test_model_hyperparameters_carry_over(self, prefill):
+        step = decode_config(prefill, 64)
+        assert (step.heads, step.d_model, step.d_ff, step.num_blocks) == (
+            prefill.heads, prefill.d_model, prefill.d_ff,
+            prefill.num_blocks,
+        )
+
+    def test_name_suffix_idempotent(self, prefill):
+        once = decode_config(prefill, 16)
+        twice = decode_config(once, 32)
+        assert once.name.endswith("-decode")
+        assert twice.name == once.name
+
+    def test_rejects_empty_cache(self, prefill):
+        with pytest.raises(ValueError, match="kv_len"):
+            decode_config(prefill, 0)
+
+
+class TestWithSeqGuard:
+    """Satellite fix: ``with_seq`` must not clobber cross-attention."""
+
+    def test_with_seq_on_self_attention_still_works(self, prefill):
+        assert prefill.with_seq(1024).seq_kv == 1024
+
+    def test_with_seq_raises_on_cross_attention(self, prefill):
+        step = decode_config(prefill, 2048)
+        with pytest.raises(ValueError, match="with_kv_len"):
+            step.with_seq(4096)
+
+    def test_with_kv_len_grows_only_the_cache(self, prefill):
+        step = decode_config(prefill, 2048)
+        grown = step.with_kv_len(4096)
+        assert grown.seq_q == 1
+        assert grown.seq_kv == 4096
+
+
+class TestStepSweep:
+    def test_one_config_per_kv_len(self, prefill):
+        sweep = decode_step_sweep(prefill, (16, 64, 256))
+        assert [c.seq_kv for c in sweep] == [16, 64, 256]
+        assert all(c.seq_q == 1 for c in sweep)
+
+    def test_rejects_non_increasing(self, prefill):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            decode_step_sweep(prefill, (64, 64))
+
+    def test_rejects_empty(self, prefill):
+        with pytest.raises(ValueError, match="at least one"):
+            decode_step_sweep(prefill, ())
+
+
+class TestDecodeTraffic:
+    def test_cache_bytes_scale_with_kv_len(self, prefill):
+        t1 = decode_traffic(decode_config(prefill, 1024))
+        t2 = decode_traffic(decode_config(prefill, 2048))
+        assert t2.cache_read_bytes == 2 * t1.cache_read_bytes
+
+    def test_la_scope_has_no_weight_traffic(self, prefill):
+        traffic = decode_traffic(decode_config(prefill, 1024), Scope.LA)
+        assert traffic.weight_bytes == 0
+        assert traffic.cache_read_bytes > 0
+
+    def test_cache_read_is_exactly_k_plus_v(self, prefill):
+        step = decode_config(prefill, 1024)
+        traffic = decode_traffic(step, Scope.LA)
+        kv_elems = 2 * step.batch * step.heads * step.seq_kv * step.d_head
+        assert traffic.cache_read_bytes == kv_elems * 2
+
+    def test_block_scope_weights_dominate_activations(self, prefill):
+        traffic = decode_traffic(decode_config(prefill, 64), Scope.BLOCK)
+        # One query token: O(D^2) weights versus O(D) activations.
+        assert traffic.weight_bytes > traffic.activation_bytes
+
+    def test_model_scope_replicates_blocks(self, prefill):
+        block = decode_traffic(decode_config(prefill, 256), Scope.BLOCK)
+        model = decode_traffic(decode_config(prefill, 256), Scope.MODEL)
+        n = prefill.num_blocks
+        assert model.total_bytes == n * block.total_bytes
+
+    def test_cache_fraction_grows_with_kv(self, prefill):
+        small = decode_traffic(decode_config(prefill, 64), Scope.BLOCK)
+        large = decode_traffic(decode_config(prefill, 8192), Scope.BLOCK)
+        assert large.cache_fraction > small.cache_fraction
+
+    def test_total_is_the_sum(self):
+        t = DecodeTraffic(kv_len=4, cache_read_bytes=10, weight_bytes=20,
+                          activation_bytes=30)
+        assert t.total_bytes == 60
+        assert t.cache_fraction == pytest.approx(10 / 60)

@@ -1,0 +1,102 @@
+"""Tests for the served ``decode`` operation.
+
+The decode op is a query kind like cost/search/scaleout: resolved into
+a hashable :class:`~repro.serve.protocol.Query`, answered identically
+by the daemon and the direct in-process path, and deduplicated on the
+full identity including the ``variants`` flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ServerThread,
+    answer_direct,
+    encode_line,
+    wait_for_server,
+)
+from repro.serve.protocol import ProtocolError, resolve_query
+
+BASE = {"op": "decode", "model": "bert", "seq": 512, "batch": 2,
+        "kv_len": 2048, "platform": "edge"}
+
+
+class TestResolve:
+    def test_decode_resolves_to_step_config(self):
+        query = resolve_query(dict(BASE))
+        assert query.kind == "decode"
+        assert query.cfg.seq_q == 1
+        assert query.cfg.seq_kv == 2048
+        assert query.cfg.name.endswith("-decode")
+        assert query.variants is True
+        assert query.objective.value == "runtime"
+
+    def test_variants_flag_resolves(self):
+        query = resolve_query(dict(BASE, variants=False))
+        assert query.variants is False
+
+    def test_variants_flag_enters_dedupe_key(self):
+        on = resolve_query(dict(BASE))
+        off = resolve_query(dict(BASE, variants=False))
+        assert on.group_key() == off.group_key()
+        assert on.dedupe_key() != off.dedupe_key()
+
+    def test_missing_kv_len_rejected(self):
+        with pytest.raises(ProtocolError, match="kv_len"):
+            resolve_query({"op": "decode", "model": "bert"})
+
+    def test_bad_kv_len_rejected(self):
+        with pytest.raises(ProtocolError):
+            resolve_query(dict(BASE, kv_len=0))
+        with pytest.raises(ProtocolError, match="integer"):
+            resolve_query(dict(BASE, kv_len="many"))
+
+    def test_non_boolean_variants_rejected(self):
+        with pytest.raises(ProtocolError, match="boolean"):
+            resolve_query(dict(BASE, variants="yes"))
+
+
+class TestDirectPath:
+    def test_payload_shape(self):
+        response = answer_direct(dict(BASE, id="d1"))
+        assert response["ok"], response
+        result = response["result"]
+        assert result["kv_len"] == 2048
+        assert set(result["traffic"]) == {
+            "cache_read_bytes", "weight_bytes", "activation_bytes",
+            "cache_fraction",
+        }
+        assert result["traffic"]["weight_bytes"] == 0  # L-A scope
+        assert 0.9 < result["traffic"]["cache_fraction"] < 1.0
+        assert result["dataflow"]["fused"] is True
+
+    def test_no_variants_searches_the_softmax_space(self):
+        on = answer_direct(dict(BASE, id="x"))["result"]
+        off = answer_direct(dict(BASE, id="x", variants=False))["result"]
+        # Same traffic identity; the winner may only differ through the
+        # variant zoo, and never beats the zoo-enabled winner.
+        assert on["kv_len"] == off["kv_len"]
+        assert on["traffic"] == off["traffic"]
+        assert on["cost"]["total_cycles"] <= off["cost"]["total_cycles"]
+        assert "variant" not in off["dataflow"]
+
+
+class TestServedEquivalence:
+    def test_served_bytes_match_direct(self):
+        requests = [
+            dict(BASE, id="q1"),
+            dict(BASE, id="q2", variants=False),
+            dict(BASE, id="q3", kv_len=4096),
+            dict(BASE, id="q4"),  # repeat of q1: the memo path
+        ]
+        direct = {r["id"]: encode_line(answer_direct(r)) for r in requests}
+        with ServerThread() as (host, port):
+            wait_for_server(host, port, timeout=30)
+            with ServeClient(host, port) as client:
+                served = {
+                    r["id"]: encode_line(client.request(r))
+                    for r in requests
+                }
+        assert served == direct
